@@ -1,0 +1,98 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. Solver backend: LP branch enumeration vs the from-scratch DPLL(T)+simplex
+   SMT backend vs the incomplete optimization falsifier (same verdict,
+   different runtime).
+2. Counterexample quality: maximally stealthy LP counterexamples vs plain
+   feasibility vertices (margin_mode ablation) — convergence rounds of
+   Algorithm 2.
+3. Pivot rule of Algorithm 2 (max-residue vs first-violation) and step rule
+   of Algorithm 3 (min-area vs fixed-width).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+
+from repro import PivotThresholdSynthesizer, StepwiseThresholdSynthesizer, synthesize_attack
+from repro.falsification.lp_backend import LPAttackBackend
+from repro.systems import build_dcmotor_case_study, build_trajectory_case_study
+from repro.utils.results import SolveStatus
+
+
+def test_backend_ablation(benchmark):
+    """All backends agree on the verdict; runtimes differ by orders of magnitude."""
+    problem = build_dcmotor_case_study(horizon=10).problem
+
+    def run_all():
+        rows = {}
+        for backend in ("lp", "smt", "optimizer"):
+            start = time.monotonic()
+            result = synthesize_attack(problem, threshold=None, backend=backend)
+            rows[backend] = (result.status, time.monotonic() - start, result.verified)
+        return rows
+
+    rows = run_once(benchmark, run_all)
+
+    print("\n--- Backend ablation (DC motor, T = 10, no residue detector)")
+    print(f"{'backend':10s} {'verdict':>9s} {'verified':>9s} {'time [s]':>10s}")
+    for backend, (status, elapsed, verified) in rows.items():
+        print(f"{backend:10s} {status.value:>9s} {str(verified):>9s} {elapsed:10.3f}")
+
+    assert rows["lp"][0] is SolveStatus.SAT
+    assert rows["smt"][0] is SolveStatus.SAT
+    # The optimizer is incomplete: it either finds a (verified) attack or gives up.
+    assert rows["optimizer"][0] in (SolveStatus.SAT, SolveStatus.UNKNOWN)
+    # The LP backend is the fastest of the complete ones.
+    assert rows["lp"][1] <= rows["smt"][1]
+
+
+def test_counterexample_quality_ablation(benchmark):
+    """Max-stealth-margin counterexamples make Algorithm 2 converge in far fewer rounds."""
+    problem = build_trajectory_case_study().problem
+
+    def run_both():
+        smart = PivotThresholdSynthesizer(
+            backend=LPAttackBackend(margin_mode="max-stealth-margin"), max_rounds=400
+        ).synthesize(problem)
+        plain = PivotThresholdSynthesizer(
+            backend=LPAttackBackend(margin_mode="none"), max_rounds=400
+        ).synthesize(problem)
+        return smart, plain
+
+    smart, plain = run_once(benchmark, run_both)
+    print("\n--- Counterexample-quality ablation (Algorithm 2, trajectory system)")
+    print(f"max-stealth-margin counterexamples: rounds={smart.rounds} converged={smart.converged}")
+    print(f"plain feasibility vertices        : rounds={plain.rounds} converged={plain.converged}")
+    assert smart.converged
+    assert smart.rounds <= plain.rounds
+
+
+def test_refinement_rule_ablation(benchmark):
+    """Pivot-rule and step-rule variants still converge on the trajectory system."""
+    problem = build_trajectory_case_study().problem
+
+    def run_all():
+        rows = {}
+        rows["pivot/max-residue"] = PivotThresholdSynthesizer(
+            backend="lp", pivot_rule="max-residue", max_rounds=400
+        ).synthesize(problem)
+        rows["pivot/first-violation"] = PivotThresholdSynthesizer(
+            backend="lp", pivot_rule="first-violation", max_rounds=400
+        ).synthesize(problem)
+        rows["stepwise/min-area"] = StepwiseThresholdSynthesizer(
+            backend="lp", step_rule="min-area", max_rounds=400
+        ).synthesize(problem)
+        rows["stepwise/fixed-width"] = StepwiseThresholdSynthesizer(
+            backend="lp", step_rule="fixed-width", max_rounds=400
+        ).synthesize(problem)
+        return rows
+
+    rows = run_once(benchmark, run_all)
+    print("\n--- Refinement-rule ablation (trajectory system)")
+    print(f"{'variant':24s} {'rounds':>7s} {'converged':>10s}")
+    for label, result in rows.items():
+        print(f"{label:24s} {result.rounds:7d} {str(result.converged):>10s}")
+    assert all(result.converged for result in rows.values())

@@ -1,0 +1,110 @@
+"""Figure 2 — attack demonstration on the Vehicle Stability Controller.
+
+Fig. 2a: the plant's yaw rate under the synthesized attack misses the
+performance criterion.
+Fig. 2b: the attacked lateral-acceleration measurement stays within the range
+and gradient monitors (no sustained violation).
+Fig. 2c: the attacked yaw-rate measurement stays within the range, gradient
+and relation monitors.
+
+Shape target: the formally synthesized false-data-injection attack bypasses
+the complete industrial monitoring system while preventing the yaw rate from
+reaching 80 % of its set point within 50 samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_series, run_once
+
+
+def test_fig2a_yaw_rate_under_attack(benchmark, vsc_case, vsc_attack):
+    problem = vsc_case.problem
+    params = vsc_case.extras["params"]
+
+    trace = run_once(benchmark, lambda: vsc_attack.trace)
+    nominal = problem.simulate()
+
+    times = trace.times()
+    print_series(
+        "Fig. 2a: plant yaw rate gamma [rad/s]",
+        times,
+        {
+            "gamma (nominal)": nominal.states[1:, 1],
+            "gamma (under attack)": trace.states[1:, 1],
+            "pfc bound (0.8 * desired)": np.full(
+                problem.horizon, params.pfc_fraction * params.desired_yaw_rate
+            ),
+        },
+    )
+
+    assert vsc_attack.found and vsc_attack.verified
+    assert problem.pfc_satisfied(nominal)
+    assert not problem.pfc_satisfied(trace)
+    final_yaw = trace.states[problem.horizon, 1]
+    assert final_yaw < params.pfc_fraction * params.desired_yaw_rate
+
+
+def test_fig2b_ay_monitors_not_triggered(benchmark, vsc_case, vsc_attack):
+    problem = vsc_case.problem
+    params = vsc_case.extras["params"]
+    trace = vsc_attack.trace
+
+    def evaluate_monitors():
+        return problem.mdc.member_reports(trace.measurements, problem.dt)
+
+    reports = {report.name: report for report in run_once(benchmark, evaluate_monitors)}
+
+    ay = trace.measurements[:, 1]
+    gradient = np.abs(np.diff(ay, prepend=ay[0])) / problem.dt
+    print_series(
+        "Fig. 2b: attacked lateral acceleration vs its monitors",
+        trace.times(),
+        {
+            "ay measured [m/s^2]": ay,
+            "ay range limit": np.full(problem.horizon, params.ay_range),
+            "|d ay/dt| [m/s^3]": gradient,
+            "ay gradient limit": np.full(problem.horizon, params.ay_gradient),
+        },
+    )
+    print("monitor alarms:", {name: report.any_alarm for name, report in reports.items()})
+
+    assert np.all(np.abs(ay) <= params.ay_range + 1e-9)
+    assert not reports["deadzone(ay-range)"].any_alarm
+    assert not reports["deadzone(ay-gradient)"].any_alarm
+
+
+def test_fig2c_gamma_monitors_not_triggered(benchmark, vsc_case, vsc_attack):
+    problem = vsc_case.problem
+    params = vsc_case.extras["params"]
+    trace = vsc_attack.trace
+
+    def evaluate_monitors():
+        return problem.mdc.member_reports(trace.measurements, problem.dt)
+
+    reports = {report.name: report for report in run_once(benchmark, evaluate_monitors)}
+
+    gamma = trace.measurements[:, 0]
+    gradient = np.abs(np.diff(gamma, prepend=gamma[0])) / problem.dt
+    relation_mismatch = np.abs(gamma - trace.measurements[:, 1] / params.speed)
+    print_series(
+        "Fig. 2c: attacked yaw rate vs its monitors",
+        trace.times(),
+        {
+            "gamma measured [rad/s]": gamma,
+            "gamma range limit": np.full(problem.horizon, params.gamma_range),
+            "|d gamma/dt| [rad/s^2]": gradient,
+            "gamma gradient limit": np.full(problem.horizon, params.gamma_gradient),
+            "|gamma - ay/vx| [rad/s]": relation_mismatch,
+            "allowedDiff": np.full(problem.horizon, params.allowed_diff),
+        },
+    )
+    print("monitor alarms:", {name: report.any_alarm for name, report in reports.items()})
+
+    assert np.all(np.abs(gamma) <= params.gamma_range + 1e-9)
+    assert not reports["deadzone(gamma-range)"].any_alarm
+    assert not reports["deadzone(gamma-gradient)"].any_alarm
+    assert not reports["deadzone(gamma-ay-relation)"].any_alarm
+    # No monitor of the bank raises an alarm on the attacked trace at all.
+    assert not problem.mdc_alarm(trace)

@@ -1,0 +1,78 @@
+"""Figure 3 — output of the variable-threshold synthesis algorithms on the VSC.
+
+Prints the final threshold vectors produced by Algorithm 2 (pivot-based) and
+Algorithm 3 (step-wise) over the 50-sample horizon, in sigma units of the
+noise-normalised residue.
+
+Shape targets: both algorithms terminate with a certificate that no stealthy
+successful attack remains; both vectors are monotonically decreasing; the
+step-wise vector is a staircase (few distinct levels); thresholds start high
+(where the first counterexample produced its largest residues) and end low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_series, run_once
+
+
+def test_fig3_threshold_vectors(benchmark, vsc_case, vsc_synthesis):
+    problem = vsc_case.problem
+
+    def collect():
+        return (
+            vsc_synthesis["pivot"].threshold.effective(problem.horizon),
+            vsc_synthesis["stepwise"].threshold.effective(problem.horizon),
+        )
+
+    pivot_values, stepwise_values = run_once(benchmark, collect)
+    times = problem.dt * np.arange(1, problem.horizon + 1)
+    print_series(
+        "Fig. 3: synthesized variable thresholds (sigma units)",
+        times,
+        {
+            "Algorithm 2 (pivot)": pivot_values,
+            "Algorithm 3 (step-wise)": stepwise_values,
+        },
+    )
+    print(
+        "step edges (Algorithm 3):",
+        vsc_synthesis["stepwise"].threshold.step_edges(),
+    )
+
+    pivot = vsc_synthesis["pivot"]
+    stepwise = vsc_synthesis["stepwise"]
+    # Both algorithms certify that no stealthy successful attack remains.
+    assert pivot.converged and stepwise.converged
+    # Monotonically decreasing threshold vectors (the paper's hypothesis).
+    assert pivot.threshold.is_monotone_decreasing()
+    assert stepwise.threshold.is_monotone_decreasing()
+    # Decreasing shape: the first finite threshold dominates the last one.
+    finite_pivot = pivot_values[np.isfinite(pivot_values)]
+    assert finite_pivot[0] > finite_pivot[-1]
+    finite_stepwise = stepwise_values[np.isfinite(stepwise_values)]
+    assert finite_stepwise[0] > finite_stepwise[-1]
+    # The step-wise result is a staircase with far fewer levels than samples.
+    distinct_levels = np.unique(np.round(finite_stepwise, 9)).size
+    assert distinct_levels <= problem.horizon // 2
+
+
+def test_fig3_relaxed_thresholds_keep_guarantee(benchmark, vsc_case, vsc_synthesis):
+    """The FAR-minimising relaxation pass may only raise thresholds."""
+    problem = vsc_case.problem
+
+    def collect():
+        return (
+            vsc_synthesis["pivot_relaxed"].threshold.effective(problem.horizon),
+            vsc_synthesis["stepwise_relaxed"].threshold.effective(problem.horizon),
+        )
+
+    pivot_relaxed, stepwise_relaxed = run_once(benchmark, collect)
+    pivot_raw = vsc_synthesis["pivot"].threshold.effective(problem.horizon)
+    stepwise_raw = vsc_synthesis["stepwise"].threshold.effective(problem.horizon)
+
+    assert np.all(pivot_relaxed >= pivot_raw - 1e-12)
+    assert np.all(stepwise_relaxed >= stepwise_raw - 1e-12)
+    assert vsc_synthesis["pivot_relaxed"].certified
+    assert vsc_synthesis["stepwise_relaxed"].certified

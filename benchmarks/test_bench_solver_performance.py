@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the formal substrate itself.
+
+Not part of the paper's evaluation, but useful for downstream users sizing
+their own problems: how Algorithm 1's runtime scales with the analysis
+horizon, and how the from-scratch simplex compares to scipy's HiGHS on the
+same feasibility problem.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import linprog
+
+from benchmarks.conftest import run_once
+
+from repro import synthesize_attack
+from repro.smt.linear import LinearExpr
+from repro.smt.simplex import SimplexSolver
+from repro.systems import build_dcmotor_case_study
+
+
+def test_attack_synthesis_scaling_with_horizon(benchmark):
+    """Algorithm 1 runtime as the analysis window grows."""
+
+    def sweep():
+        rows = []
+        for horizon in (10, 20, 40, 80):
+            problem = build_dcmotor_case_study(horizon=horizon).problem
+            start = time.monotonic()
+            result = synthesize_attack(problem, threshold=problem.static_threshold(1.0))
+            rows.append((horizon, time.monotonic() - start, result.status.value))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n--- Algorithm 1 (LP backend) scaling with horizon, DC motor")
+    print(f"{'horizon':>8s} {'time [s]':>10s} {'verdict':>9s}")
+    for horizon, elapsed, verdict in rows:
+        print(f"{horizon:8d} {elapsed:10.3f} {verdict:>9s}")
+    assert all(verdict in ("sat", "unsat") for _, _, verdict in rows)
+
+
+def test_simplex_vs_scipy(benchmark):
+    """Feasibility checking: from-scratch simplex vs scipy HiGHS."""
+    rng = np.random.default_rng(0)
+    n_vars, n_cons = 20, 60
+    A = rng.normal(size=(n_cons, n_vars))
+    b = rng.normal(size=n_cons) + 1.0
+
+    def run_both():
+        solver = SimplexSolver()
+        for i in range(n_cons):
+            solver.add_expression(
+                LinearExpr({f"v{j}": A[i, j] for j in range(n_vars)}, -float(b[i]))
+            )
+        start = time.monotonic()
+        ours = solver.check()
+        ours_time = time.monotonic() - start
+        start = time.monotonic()
+        reference = linprog(
+            np.zeros(n_vars), A_ub=A, b_ub=b, bounds=[(None, None)] * n_vars, method="highs"
+        )
+        scipy_time = time.monotonic() - start
+        return ours, ours_time, reference, scipy_time
+
+    ours, ours_time, reference, scipy_time = run_once(benchmark, run_both)
+    print("\n--- Simplex micro-benchmark (20 variables, 60 constraints)")
+    print(f"from-scratch simplex: feasible={ours.feasible} in {ours_time * 1e3:.2f} ms")
+    print(f"scipy HiGHS         : feasible={reference.status == 0} in {scipy_time * 1e3:.2f} ms")
+    assert ours.feasible == (reference.status == 0)

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Securing a user-defined plant with the public API.
+
+This example shows every step a downstream user takes to apply the library to
+their own system rather than a packaged benchmark:
+
+1. describe the continuous-time physics as a :class:`repro.StateSpace`,
+2. discretise it and close the loop (LQR + Kalman filter),
+3. state the performance criterion and the plant's existing monitors,
+4. bundle everything into a :class:`repro.SynthesisProblem`,
+5. run the end-to-end :class:`repro.SynthesisPipeline`.
+
+The plant here is a two-zone thermal process (server room + adjacent zone)
+whose temperature telemetry travels over an IP network and can be falsified.
+
+Run with::
+
+    python examples/custom_plant.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AttackChannelMask,
+    CompositeMonitor,
+    DeadZoneMonitor,
+    GradientMonitor,
+    RangeMonitor,
+    ReachSetCriterion,
+    StateSpace,
+    SynthesisPipeline,
+    SynthesisProblem,
+    discretize,
+)
+from repro.systems.base import design_closed_loop
+
+
+def build_thermal_problem() -> SynthesisProblem:
+    """Two coupled thermal zones, one actuated, both measured."""
+    # States: temperature deviation of zone 1 and zone 2 from the set point [K].
+    # Input: cooling power deviation [kW]; outputs: both zone temperatures.
+    thermal_coupling = 0.08
+    zone1_leak, zone2_leak = 0.12, 0.05
+    A = np.array(
+        [
+            [-(zone1_leak + thermal_coupling), thermal_coupling],
+            [thermal_coupling, -(zone2_leak + thermal_coupling)],
+        ]
+    )
+    B = np.array([[-0.5], [0.0]])
+    C = np.eye(2)
+    plant = StateSpace(
+        A=A,
+        B=B,
+        C=C,
+        Q_w=np.eye(2) * 1e-5,
+        R_v=np.eye(2) * 0.05**2,
+        name="two-zone-thermal",
+        state_names=("T_zone1", "T_zone2"),
+        output_names=("T_zone1", "T_zone2"),
+        input_names=("cooling",),
+    )
+    discrete = discretize(plant, dt=30.0)  # one sample every 30 s
+
+    system = design_closed_loop(
+        discrete,
+        Q_lqr=np.diag([4.0, 1.0]),
+        R_lqr=np.array([[0.5]]),
+        Q_kalman=np.eye(2) * 1e-3,
+        name="thermal-loop",
+    )
+
+    # Start 3 K above the set point; the loop must bring zone 1 within 0.5 K
+    # in 40 samples (20 minutes).
+    pfc = ReachSetCriterion(
+        x_des=np.zeros(2), epsilon=np.array([0.5, np.inf]), components=(0,), at=40
+    )
+
+    monitors = CompositeMonitor(
+        monitors=[
+            DeadZoneMonitor(RangeMonitor(channel=0, low=-5.0, high=8.0), dead_zone_samples=4),
+            DeadZoneMonitor(RangeMonitor(channel=1, low=-5.0, high=8.0), dead_zone_samples=4),
+            DeadZoneMonitor(GradientMonitor(channel=0, max_rate=0.05), dead_zone_samples=4),
+        ],
+        name="thermal-mdc",
+    )
+
+    return SynthesisProblem(
+        system=system,
+        pfc=pfc,
+        horizon=40,
+        mdc=monitors,
+        x0=np.array([3.0, 2.0]),
+        attack_mask=AttackChannelMask.all_channels(2),
+        attack_bound=2.0,
+        residue_weights=np.array([0.05, 0.05]),
+        name="thermal",
+    )
+
+
+def main() -> None:
+    problem = build_thermal_problem()
+    print(f"custom plant: {problem.system.plant!r}")
+
+    pipeline = SynthesisPipeline(
+        problem=problem,
+        backend="lp",
+        algorithms=("pivot", "stepwise", "static"),
+        far_count=300,
+        min_threshold=0.5,
+    )
+    report = pipeline.run()
+
+    print(f"\nexisting monitors bypassable: {report.is_vulnerable}")
+    print("\nper-algorithm summary:")
+    for row in report.summary_rows():
+        far = row.get("false_alarm_rate")
+        far_text = f"{100 * far:5.1f} %" if far is not None else "   n/a"
+        print(f"  {row['algorithm']:9s} rounds={row['rounds']:4d} "
+              f"converged={str(row['converged']):5s} solver_time={row['solver_time_s']:7.2f}s "
+              f"FAR={far_text}")
+
+    if report.far_study is not None:
+        print(f"\nbenign population: kept {report.far_study.kept}/{report.far_study.generated} "
+              f"(discarded {report.far_study.discarded_pfc} by pfc, "
+              f"{report.far_study.discarded_mdc} by mdc)")
+
+
+if __name__ == "__main__":
+    main()

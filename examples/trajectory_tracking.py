@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 1 motivational example: trajectory tracking under attack.
+
+Shows, with ASCII plots on the console,
+
+* how a stealthy false-data injection on the position sensor keeps the
+  vehicle away from its set point while the residue stays small (Fig. 1a),
+* why a single static threshold must either flag harmless noise (too small)
+  or miss the attack (too large), and how a variable threshold separates the
+  two (Fig. 1b).
+
+Run with::
+
+    python examples/trajectory_tracking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    PivotThresholdSynthesizer,
+    StaticThresholdSynthesizer,
+    build_trajectory_case_study,
+    synthesize_attack,
+)
+
+
+def ascii_plot(series: dict[str, np.ndarray], width: int = 60, height: int = 12) -> str:
+    """Render a handful of equally long series as a rough ASCII chart."""
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    low, high = float(all_values.min()), float(all_values.max())
+    if high - low < 1e-12:
+        high = low + 1.0
+    length = max(len(v) for v in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+xo#"
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for k, value in enumerate(values):
+            col = int(round(k / max(length - 1, 1) * (width - 1)))
+            row = int(round((value - low) / (high - low) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = ["".join(row) for row in grid]
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series.keys())
+    )
+    return "\n".join(lines) + f"\n  ({legend}; y in [{low:.3g}, {high:.3g}])"
+
+
+def main() -> None:
+    case = build_trajectory_case_study()
+    problem = case.problem
+    target = case.extras["target_position"]
+    print("Trajectory-tracking motivational example (paper Fig. 1)")
+    print(f"  set point {target} m, acceptance band ±{case.extras['tolerance']} m, "
+          f"horizon {problem.horizon} samples of {problem.dt} s")
+
+    # ------------------------------------------------------------------
+    # Fig. 1a — deviation under no noise, noise, and attack.
+    # ------------------------------------------------------------------
+    clean = problem.simulate()
+    noisy = problem.simulate(with_noise=True, seed=4)
+    attack_result = synthesize_attack(problem, threshold=None, backend="lp")
+    attacked = attack_result.trace
+
+    deviation = {
+        "no noise": np.abs(clean.states[:-1, 0] - target),
+        "noise": np.abs(noisy.states[:-1, 0] - target),
+        "attack": np.abs(attacked.states[:-1, 0] - target),
+    }
+    print("\n[Fig. 1a] |position - set point| over time")
+    print(ascii_plot(deviation))
+    print(f"  final deviation: no-noise {deviation['no noise'][-1]:.3f} m, "
+          f"noise {deviation['noise'][-1]:.3f} m, attack {deviation['attack'][-1]:.3f} m")
+
+    # ------------------------------------------------------------------
+    # Fig. 1b — residues against static and variable thresholds.
+    # ------------------------------------------------------------------
+    static = StaticThresholdSynthesizer(backend="lp").synthesize(problem)
+    variable = PivotThresholdSynthesizer(backend="lp", min_threshold=0.01).synthesize(problem)
+
+    small_th = static.threshold.values[0]          # provably safe static threshold ("th")
+    big_th = 3.0 * float(np.nanmax(noisy.residue_norms("inf")))  # permissive threshold ("Th")
+    residue_noise = noisy.residue_norms("inf")
+    residue_attack = attacked.residue_norms("inf")
+
+    print("\n[Fig. 1b] residues vs thresholds")
+    print(ascii_plot(
+        {
+            "residue (noise)": residue_noise,
+            "residue (attack)": residue_attack,
+            "vth (variable)": np.where(
+                np.isfinite(variable.threshold.values), variable.threshold.values, np.nan * 0 + big_th
+            ),
+        }
+    ))
+    print(f"  small static threshold th = {small_th:.4f}: flags "
+          f"{int(np.sum(residue_noise >= small_th))}/{problem.horizon} noisy samples "
+          "(false alarms) but would also catch the attack")
+    print(f"  large static threshold Th = {big_th:.4f}: never flags noise, "
+          f"misses the attack entirely "
+          f"({int(np.sum(residue_attack >= big_th))} samples above it)")
+    finite = variable.threshold.values[np.isfinite(variable.threshold.values)]
+    print(f"  variable threshold vth: from {finite.max():.3f} down to {finite.min():.3f}, "
+          f"flags {int(np.sum(residue_noise >= variable.threshold.effective(problem.horizon)))} "
+          f"noisy samples while provably blocking every stealthy attack "
+          f"(converged={variable.converged})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments that lack the ``wheel`` package required by PEP 660 editable
+builds (``pip install -e .`` then falls back to the legacy ``setup.py
+develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Formal synthesis of monitoring and detection systems for secure CPS "
+        "implementations (DATE 2020 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

@@ -1,0 +1,109 @@
+"""Formal synthesis of monitoring and detection systems for secure CPS implementations.
+
+A from-scratch Python reproduction of Koley et al., DATE 2020: residue-based
+attack detectors with formally synthesized variable thresholds for LTI
+control loops under false-data-injection attacks.
+
+Quick start::
+
+    from repro import build_vsc_case_study, synthesize_attack, PivotThresholdSynthesizer
+
+    case = build_vsc_case_study()
+    vulnerability = synthesize_attack(case.problem)          # Algorithm 1
+    result = PivotThresholdSynthesizer().synthesize(case.problem)   # Algorithm 2
+    print(result.threshold.values)
+
+Subpackages
+-----------
+``repro.core``
+    Algorithms 1-3, the static baseline, FAR evaluation, the end-to-end pipeline.
+``repro.lti``, ``repro.estimation``, ``repro.control``
+    The plant / estimator / controller substrate.
+``repro.attacks``, ``repro.monitors``, ``repro.detectors``, ``repro.noise``
+    Attacker models, plant monitors (``mdc``), residue detectors, noise models.
+``repro.smt``, ``repro.falsification``
+    The formal solver substrate (DPLL(T) + simplex) and the attack-synthesis backends.
+``repro.systems``
+    Ready-made case studies (VSC, trajectory tracking, DC motor, ...).
+"""
+
+from repro.core import (
+    SynthesisProblem,
+    ReachSetCriterion,
+    FractionOfTargetCriterion,
+    StateBoundCriterion,
+    CompositeCriterion,
+    synthesize_attack,
+    AttackSynthesisResult,
+    PivotThresholdSynthesizer,
+    StepwiseThresholdSynthesizer,
+    StaticThresholdSynthesizer,
+    ThresholdRelaxer,
+    FalseAlarmEvaluator,
+    SynthesisPipeline,
+)
+from repro.core.synthesis_result import ThresholdSynthesisResult
+from repro.detectors import ThresholdVector, ResidueDetector, ChiSquareDetector, CusumDetector
+from repro.attacks import FDIAttack, AttackChannelMask
+from repro.lti import StateSpace, ClosedLoopSystem, SimulationOptions, simulate_closed_loop, discretize
+from repro.monitors import (
+    CompositeMonitor,
+    RangeMonitor,
+    GradientMonitor,
+    RelationMonitor,
+    DeadZoneMonitor,
+)
+from repro.systems import (
+    build_vsc_case_study,
+    build_trajectory_case_study,
+    build_dcmotor_case_study,
+    build_quadtank_case_study,
+    build_cruise_case_study,
+    build_pendulum_case_study,
+    CaseStudy,
+)
+from repro.utils.results import SolveStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SynthesisProblem",
+    "ReachSetCriterion",
+    "FractionOfTargetCriterion",
+    "StateBoundCriterion",
+    "CompositeCriterion",
+    "synthesize_attack",
+    "AttackSynthesisResult",
+    "PivotThresholdSynthesizer",
+    "StepwiseThresholdSynthesizer",
+    "StaticThresholdSynthesizer",
+    "ThresholdRelaxer",
+    "ThresholdSynthesisResult",
+    "FalseAlarmEvaluator",
+    "SynthesisPipeline",
+    "ThresholdVector",
+    "ResidueDetector",
+    "ChiSquareDetector",
+    "CusumDetector",
+    "FDIAttack",
+    "AttackChannelMask",
+    "StateSpace",
+    "ClosedLoopSystem",
+    "SimulationOptions",
+    "simulate_closed_loop",
+    "discretize",
+    "CompositeMonitor",
+    "RangeMonitor",
+    "GradientMonitor",
+    "RelationMonitor",
+    "DeadZoneMonitor",
+    "build_vsc_case_study",
+    "build_trajectory_case_study",
+    "build_dcmotor_case_study",
+    "build_quadtank_case_study",
+    "build_cruise_case_study",
+    "build_pendulum_case_study",
+    "CaseStudy",
+    "SolveStatus",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Attack models for false-data injection on sensor channels.
+
+The primary artefact is :class:`~repro.attacks.fdi.FDIAttack` — an arbitrary
+per-sample additive falsification of the measurement vector, which is exactly
+what Algorithm 1 synthesizes.  The catalogue of parametric templates
+(bias, ramp, surge, geometric, replay) reproduces the attack families used in
+the residue-detector literature the paper cites and powers the examples and
+the detector-evaluation benchmarks.
+"""
+
+from repro.attacks.fdi import FDIAttack, AttackChannelMask
+from repro.attacks.templates import (
+    AttackTemplate,
+    BiasAttack,
+    RampAttack,
+    SurgeAttack,
+    GeometricAttack,
+    ReplayAttack,
+    NoAttack,
+)
+from repro.attacks.injector import AttackInjector
+
+__all__ = [
+    "FDIAttack",
+    "AttackChannelMask",
+    "AttackTemplate",
+    "BiasAttack",
+    "RampAttack",
+    "SurgeAttack",
+    "GeometricAttack",
+    "ReplayAttack",
+    "NoAttack",
+    "AttackInjector",
+]

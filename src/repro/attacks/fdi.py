@@ -1,0 +1,157 @@
+"""False-data-injection attack representation.
+
+An :class:`FDIAttack` is simply a matrix ``a`` of shape ``(T, m)``: the value
+added to the sensor vector at each of the ``T`` sampling instances.  The class
+adds channel masking (the paper's attacker can only forge the CAN-carried
+sensors, not the hard-wired wheel-speed sensors), norm accounting and slicing
+utilities used by the synthesis algorithms and the evaluation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class AttackChannelMask:
+    """Which measurement channels an attacker can falsify.
+
+    Attributes
+    ----------
+    n_outputs:
+        Total number of measurement channels ``m``.
+    attackable:
+        Indices of channels the attacker controls.  Channels outside this set
+        are constrained to zero injection by the synthesis encodings.
+    """
+
+    n_outputs: int
+    attackable: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = int(self.n_outputs)
+        if n <= 0:
+            raise ValidationError("n_outputs must be positive")
+        indices = tuple(sorted(set(int(i) for i in self.attackable)))
+        for index in indices:
+            if not 0 <= index < n:
+                raise ValidationError(f"channel index {index} out of range [0, {n})")
+        object.__setattr__(self, "n_outputs", n)
+        object.__setattr__(self, "attackable", indices)
+
+    @classmethod
+    def all_channels(cls, n_outputs: int) -> "AttackChannelMask":
+        """Attacker controls every measurement channel."""
+        return cls(n_outputs=n_outputs, attackable=tuple(range(int(n_outputs))))
+
+    @classmethod
+    def none(cls, n_outputs: int) -> "AttackChannelMask":
+        """Attacker controls no channel (used for nominal runs)."""
+        return cls(n_outputs=n_outputs, attackable=())
+
+    @property
+    def protected(self) -> tuple[int, ...]:
+        """Indices of channels the attacker cannot touch."""
+        return tuple(i for i in range(self.n_outputs) if i not in self.attackable)
+
+    def as_bool_array(self) -> np.ndarray:
+        """Boolean vector, True where the channel is attackable."""
+        mask = np.zeros(self.n_outputs, dtype=bool)
+        for index in self.attackable:
+            mask[index] = True
+        return mask
+
+    def project(self, values: np.ndarray) -> np.ndarray:
+        """Zero out the protected channels of an attack matrix or vector."""
+        values = np.asarray(values, dtype=float)
+        mask = self.as_bool_array()
+        return values * mask
+
+
+@dataclass(frozen=True)
+class FDIAttack:
+    """A concrete false-data-injection attack sequence.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(T, m)``: ``values[k]`` is added to the measurement
+        at the ``(k+1)``-th sampling instance.
+    mask:
+        Channel mask the attack respects (validated at construction).
+    metadata:
+        Free-form provenance (synthesis round, solver backend, ...).
+    """
+
+    values: np.ndarray
+    mask: AttackChannelMask | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.atleast_2d(np.asarray(self.values, dtype=float))
+        if values.ndim != 2:
+            raise ValidationError("attack values must be a (T, m) matrix")
+        if self.mask is not None:
+            if values.shape[1] != self.mask.n_outputs:
+                raise ValidationError(
+                    f"attack has {values.shape[1]} channels, mask expects {self.mask.n_outputs}"
+                )
+            violation = np.abs(values[:, list(self.mask.protected)])
+            if violation.size and np.max(violation) > 1e-12:
+                raise ValidationError("attack injects data on protected channels")
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Number of attacked sampling instances ``T``."""
+        return self.values.shape[0]
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of measurement channels ``m``."""
+        return self.values.shape[1]
+
+    def magnitude(self, order: float | str = 2) -> float:
+        """Total attack effort: sum over samples of ``||a_k||``."""
+        if order == "inf":
+            per_sample = np.max(np.abs(self.values), axis=1)
+        else:
+            per_sample = np.linalg.norm(self.values, ord=order, axis=1)
+        return float(np.sum(per_sample))
+
+    def peak(self) -> float:
+        """Largest absolute injected value over the whole attack."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.max(np.abs(self.values)))
+
+    def support(self, tol: float = 1e-12) -> np.ndarray:
+        """Indices of sampling instances where a non-zero injection occurs."""
+        return np.flatnonzero(np.max(np.abs(self.values), axis=1) > tol)
+
+    def is_zero(self, tol: float = 1e-12) -> bool:
+        """True when the attack injects (numerically) nothing."""
+        return self.peak() <= tol
+
+    def truncated(self, horizon: int) -> "FDIAttack":
+        """Attack restricted to the first ``horizon`` samples."""
+        horizon = int(horizon)
+        if not 0 < horizon <= self.horizon:
+            raise ValidationError(
+                f"truncation horizon must be in (0, {self.horizon}], got {horizon}"
+            )
+        return FDIAttack(self.values[:horizon].copy(), mask=self.mask, metadata=dict(self.metadata))
+
+    def scaled(self, factor: float) -> "FDIAttack":
+        """Attack with every injected value multiplied by ``factor``."""
+        return FDIAttack(self.values * float(factor), mask=self.mask, metadata=dict(self.metadata))
+
+    @classmethod
+    def zeros(cls, horizon: int, n_outputs: int, mask: AttackChannelMask | None = None) -> "FDIAttack":
+        """The all-zero (no-op) attack."""
+        return cls(np.zeros((int(horizon), int(n_outputs))), mask=mask)

@@ -1,0 +1,89 @@
+"""Attack injection glue between attack objects and the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.fdi import FDIAttack
+from repro.attacks.templates import AttackTemplate
+from repro.lti.simulate import (
+    ClosedLoopSystem,
+    SimulationOptions,
+    SimulationTrace,
+    simulate_closed_loop,
+)
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class AttackInjector:
+    """Runs a closed-loop simulation under a chosen attack.
+
+    This wrapper exists so examples and evaluation code can treat concrete
+    :class:`~repro.attacks.fdi.FDIAttack` sequences and parametric
+    :class:`~repro.attacks.templates.AttackTemplate` objects uniformly.
+    """
+
+    system: ClosedLoopSystem
+
+    def resolve(self, attack, horizon: int) -> FDIAttack:
+        """Turn ``attack`` (None / FDIAttack / AttackTemplate / array) into an FDIAttack."""
+        m = self.system.n_outputs
+        if attack is None:
+            return FDIAttack.zeros(horizon, m)
+        if isinstance(attack, FDIAttack):
+            if attack.horizon < horizon:
+                padded = np.zeros((horizon, m))
+                padded[: attack.horizon] = attack.values
+                return FDIAttack(padded, mask=attack.mask, metadata=dict(attack.metadata))
+            if attack.horizon > horizon:
+                return attack.truncated(horizon)
+            return attack
+        if isinstance(attack, AttackTemplate):
+            return attack.generate(horizon, m)
+        values = np.atleast_2d(np.asarray(attack, dtype=float))
+        if values.shape != (horizon, m):
+            raise ValidationError(
+                f"raw attack array must have shape {(horizon, m)}, got {values.shape}"
+            )
+        return FDIAttack(values)
+
+    def run(
+        self,
+        attack,
+        options: SimulationOptions,
+        process_noise: np.ndarray | None = None,
+        measurement_noise: np.ndarray | None = None,
+    ) -> SimulationTrace:
+        """Simulate the closed loop under ``attack`` with the given options."""
+        resolved = self.resolve(attack, options.horizon)
+        return simulate_closed_loop(
+            self.system,
+            options,
+            attack=resolved.values,
+            process_noise=process_noise,
+            measurement_noise=measurement_noise,
+        )
+
+    def compare(
+        self,
+        attack,
+        options: SimulationOptions,
+    ) -> tuple[SimulationTrace, SimulationTrace]:
+        """Simulate the same scenario with and without the attack.
+
+        Both runs share the same noise realisation so the difference between
+        the two traces isolates the attack's effect.
+        """
+        resolved = self.resolve(attack, options.horizon)
+        baseline = simulate_closed_loop(self.system, options)
+        attacked = simulate_closed_loop(
+            self.system,
+            options,
+            attack=resolved.values,
+            process_noise=baseline.process_noise,
+            measurement_noise=baseline.measurement_noise,
+        )
+        return baseline, attacked

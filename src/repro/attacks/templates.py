@@ -1,0 +1,182 @@
+"""Parametric attack templates from the residue-detector literature.
+
+These templates generate :class:`~repro.attacks.fdi.FDIAttack` sequences from
+a handful of parameters.  They serve three purposes:
+
+* realistic adversaries for the examples and for detector evaluation,
+* sanity baselines to compare against the formally synthesized attacks
+  (a solver-found attack should be at least as damaging per unit effort),
+* stress inputs for the property-based tests of the detection pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.fdi import AttackChannelMask, FDIAttack
+from repro.utils.validation import ValidationError, check_positive
+
+
+class AttackTemplate(abc.ABC):
+    """A parametric generator of FDI attack sequences."""
+
+    @abc.abstractmethod
+    def generate(self, horizon: int, n_outputs: int) -> FDIAttack:
+        """Materialise the attack for a given horizon and output dimension."""
+
+    def _resolve_mask(self, n_outputs: int) -> AttackChannelMask:
+        mask = getattr(self, "mask", None)
+        if mask is None:
+            return AttackChannelMask.all_channels(n_outputs)
+        if mask.n_outputs != n_outputs:
+            raise ValidationError(
+                f"mask is for {mask.n_outputs} outputs, attack target has {n_outputs}"
+            )
+        return mask
+
+
+@dataclass(frozen=True)
+class NoAttack(AttackTemplate):
+    """The trivial template: no injection at all."""
+
+    def generate(self, horizon: int, n_outputs: int) -> FDIAttack:
+        return FDIAttack.zeros(horizon, n_outputs)
+
+
+@dataclass(frozen=True)
+class BiasAttack(AttackTemplate):
+    """Constant bias added to the attackable channels from ``start`` onward."""
+
+    bias: float
+    start: int = 0
+    mask: AttackChannelMask | None = None
+
+    def generate(self, horizon: int, n_outputs: int) -> FDIAttack:
+        horizon = int(check_positive("horizon", horizon))
+        mask = self._resolve_mask(n_outputs)
+        values = np.zeros((horizon, n_outputs))
+        start = int(np.clip(self.start, 0, horizon))
+        values[start:, list(mask.attackable)] = self.bias
+        return FDIAttack(values, mask=mask, metadata={"template": "bias", "bias": self.bias})
+
+
+@dataclass(frozen=True)
+class RampAttack(AttackTemplate):
+    """Linearly growing injection: ``a_k = slope * (k - start)`` for ``k >= start``."""
+
+    slope: float
+    start: int = 0
+    mask: AttackChannelMask | None = None
+
+    def generate(self, horizon: int, n_outputs: int) -> FDIAttack:
+        horizon = int(check_positive("horizon", horizon))
+        mask = self._resolve_mask(n_outputs)
+        values = np.zeros((horizon, n_outputs))
+        start = int(np.clip(self.start, 0, horizon))
+        ramp = self.slope * np.arange(horizon - start)
+        for channel in mask.attackable:
+            values[start:, channel] = ramp
+        return FDIAttack(values, mask=mask, metadata={"template": "ramp", "slope": self.slope})
+
+
+@dataclass(frozen=True)
+class SurgeAttack(AttackTemplate):
+    """Large initial surge followed by a small sustained bias.
+
+    Classic "surge" adversary: a big injection for ``surge_length`` samples to
+    push the plant away quickly, then a small value tuned to keep the residue
+    below the detection threshold.
+    """
+
+    surge_value: float
+    settle_value: float
+    surge_length: int = 1
+    mask: AttackChannelMask | None = None
+
+    def generate(self, horizon: int, n_outputs: int) -> FDIAttack:
+        horizon = int(check_positive("horizon", horizon))
+        surge_length = int(np.clip(self.surge_length, 0, horizon))
+        mask = self._resolve_mask(n_outputs)
+        values = np.zeros((horizon, n_outputs))
+        for channel in mask.attackable:
+            values[:surge_length, channel] = self.surge_value
+            values[surge_length:, channel] = self.settle_value
+        return FDIAttack(
+            values,
+            mask=mask,
+            metadata={"template": "surge", "surge": self.surge_value, "settle": self.settle_value},
+        )
+
+
+@dataclass(frozen=True)
+class GeometricAttack(AttackTemplate):
+    """Geometrically growing injection ``a_k = initial * ratio^k``.
+
+    With ``ratio`` slightly above 1 this mimics the "slowly ramping stealthy"
+    adversary that static thresholds struggle with.
+    """
+
+    initial: float
+    ratio: float
+    mask: AttackChannelMask | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("ratio", self.ratio)
+
+    def generate(self, horizon: int, n_outputs: int) -> FDIAttack:
+        horizon = int(check_positive("horizon", horizon))
+        mask = self._resolve_mask(n_outputs)
+        values = np.zeros((horizon, n_outputs))
+        growth = self.initial * np.power(self.ratio, np.arange(horizon))
+        for channel in mask.attackable:
+            values[:, channel] = growth
+        return FDIAttack(
+            values,
+            mask=mask,
+            metadata={"template": "geometric", "initial": self.initial, "ratio": self.ratio},
+        )
+
+
+@dataclass(frozen=True)
+class ReplayAttack(AttackTemplate):
+    """Replay adversary.
+
+    Records ``recorded`` (a ``(T_rec, m)`` block of past measurements) and
+    replays it in place of the live measurements from ``start`` onward.  Since
+    our attack representation is additive, :meth:`materialize` needs the live
+    measurements to compute the additive difference; :meth:`generate` without
+    a live trace falls back to replaying against zero (i.e. injecting the
+    recording itself).
+    """
+
+    recorded: np.ndarray
+    start: int = 0
+    mask: AttackChannelMask | None = None
+
+    def __post_init__(self) -> None:
+        recorded = np.atleast_2d(np.asarray(self.recorded, dtype=float))
+        object.__setattr__(self, "recorded", recorded)
+
+    def generate(self, horizon: int, n_outputs: int) -> FDIAttack:
+        return self.materialize(np.zeros((int(horizon), int(n_outputs))))
+
+    def materialize(self, live_measurements: np.ndarray) -> FDIAttack:
+        """Additive attack turning ``live_measurements`` into the recording."""
+        live = np.atleast_2d(np.asarray(live_measurements, dtype=float))
+        horizon, n_outputs = live.shape
+        if self.recorded.shape[1] != n_outputs:
+            raise ValidationError(
+                f"recording has {self.recorded.shape[1]} channels, live trace has {n_outputs}"
+            )
+        mask = self._resolve_mask(n_outputs)
+        values = np.zeros_like(live)
+        start = int(np.clip(self.start, 0, horizon))
+        usable = min(horizon - start, self.recorded.shape[0])
+        for offset in range(usable):
+            k = start + offset
+            delta = self.recorded[offset] - live[k]
+            values[k] = mask.project(delta)
+        return FDIAttack(values, mask=mask, metadata={"template": "replay", "start": self.start})

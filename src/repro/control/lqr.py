@@ -1,0 +1,106 @@
+"""Discrete-time linear-quadratic regulator design.
+
+The paper's controller is a static state-feedback law ``u_k = -K xhat_k``;
+this module computes the gain ``K`` as the infinite-horizon LQR solution of
+the plant, which is the standard choice for the vehicle-dynamics case studies
+the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lti.model import StateSpace
+from repro.utils.linalg import dare
+from repro.utils.validation import ValidationError, check_symmetric
+
+
+def dlqr(
+    A: np.ndarray,
+    B: np.ndarray,
+    Q: np.ndarray,
+    R: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Infinite-horizon discrete LQR.
+
+    Returns the gain ``K`` (such that ``u = -K x`` is optimal) and the Riccati
+    solution ``P`` of
+
+    ``P = A^T P A - A^T P B (R + B^T P B)^{-1} B^T P A + Q``.
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    Q = check_symmetric("Q", Q)
+    R = check_symmetric("R", R)
+    P = dare(A, B, Q, R)
+    K = np.linalg.solve(R + B.T @ P @ B, B.T @ P @ A)
+    return K, P
+
+
+def lqr_gain(
+    plant: StateSpace,
+    Q: np.ndarray | None = None,
+    R: np.ndarray | None = None,
+) -> np.ndarray:
+    """LQR gain for a discrete plant with identity default weights."""
+    if not plant.is_discrete:
+        raise ValidationError("lqr_gain requires a discrete-time plant")
+    if Q is None:
+        Q = np.eye(plant.n_states)
+    if R is None:
+        R = np.eye(plant.n_inputs)
+    K, _ = dlqr(plant.A, plant.B, Q, R)
+    return K
+
+
+@dataclass(frozen=True)
+class LQRDesign:
+    """Complete record of an LQR design for reporting and ablation studies.
+
+    Attributes
+    ----------
+    K:
+        Optimal state-feedback gain.
+    P:
+        Riccati solution (cost-to-go matrix).
+    Q, R:
+        Weights used for the design.
+    closed_loop_eigenvalues:
+        Eigenvalues of ``A - B K``.
+    """
+
+    K: np.ndarray
+    P: np.ndarray
+    Q: np.ndarray
+    R: np.ndarray
+    closed_loop_eigenvalues: np.ndarray
+
+    @classmethod
+    def design(
+        cls,
+        plant: StateSpace,
+        Q: np.ndarray | None = None,
+        R: np.ndarray | None = None,
+    ) -> "LQRDesign":
+        """Run the design and record the resulting closed-loop eigenvalues."""
+        if Q is None:
+            Q = np.eye(plant.n_states)
+        if R is None:
+            R = np.eye(plant.n_inputs)
+        Q = check_symmetric("Q", Q)
+        R = check_symmetric("R", R)
+        K, P = dlqr(plant.A, plant.B, Q, R)
+        eigenvalues = np.linalg.eigvals(plant.A - plant.B @ K)
+        return cls(K=K, P=P, Q=Q, R=R, closed_loop_eigenvalues=eigenvalues)
+
+    @property
+    def is_stabilizing(self) -> bool:
+        """True when the resulting closed loop is Schur stable."""
+        return bool(np.all(np.abs(self.closed_loop_eigenvalues) < 1.0))
+
+    def cost(self, x0: np.ndarray) -> float:
+        """Optimal infinite-horizon cost ``x0^T P x0`` from initial state ``x0``."""
+        x0 = np.asarray(x0, dtype=float).reshape(-1)
+        return float(x0 @ self.P @ x0)

@@ -1,0 +1,77 @@
+"""Discrete PID controller.
+
+Included for the SISO example systems (DC motor, cruise control) so the
+library can demonstrate that the synthesis machinery is controller-agnostic:
+any implementation that produces ``u_k`` from measurements can be wrapped,
+not only the state-feedback law of the main case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass
+class DiscretePID:
+    """Textbook positional PID with clamping anti-windup.
+
+    ``u_k = Kp e_k + Ki * dt * sum(e) + Kd * (e_k - e_{k-1}) / dt``
+
+    Attributes
+    ----------
+    kp, ki, kd:
+        Proportional, integral and derivative gains.
+    dt:
+        Sampling period in seconds.
+    output_limits:
+        Optional ``(low, high)`` saturation; the integrator is clamped when
+        the output saturates (anti-windup).
+    """
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    dt: float = 1.0
+    output_limits: tuple[float, float] | None = None
+    _integral: float = field(default=0.0, repr=False)
+    _previous_error: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("dt", self.dt)
+        if self.output_limits is not None:
+            low, high = self.output_limits
+            if low >= high:
+                raise ValidationError("output_limits must satisfy low < high")
+
+    def reset(self) -> None:
+        """Clear the integrator and derivative memory."""
+        self._integral = 0.0
+        self._previous_error = None
+
+    def step(self, error: float) -> float:
+        """Compute the control action for the current tracking error."""
+        error = float(error)
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / self.dt
+        candidate_integral = self._integral + error * self.dt
+        output = self.kp * error + self.ki * candidate_integral + self.kd * derivative
+
+        if self.output_limits is not None:
+            low, high = self.output_limits
+            saturated = min(max(output, low), high)
+            if saturated == output:
+                self._integral = candidate_integral
+            # When saturated, keep the old integral (clamping anti-windup).
+            output = saturated
+        else:
+            self._integral = candidate_integral
+
+        self._previous_error = error
+        return output
+
+    def run(self, errors) -> list[float]:
+        """Apply :meth:`step` over a sequence of errors, returning all outputs."""
+        return [self.step(e) for e in errors]

@@ -1,0 +1,70 @@
+"""Reference tracking helpers.
+
+The case studies track a non-zero set point (for example a desired yaw rate).
+Two standard constructions are provided:
+
+* :func:`feedforward_gain` — the static feedforward ``N`` in
+  ``u = -K x + N r`` that makes the closed-loop DC gain from ``r`` to ``y``
+  equal to the identity.
+* :func:`tracking_state_target` — the steady-state pair ``(x_ss, u_ss)``
+  solving ``x_ss = A x_ss + B u_ss``, ``y_des = C x_ss + D u_ss``, used to
+  express performance criteria in state space (the paper's ``x_des``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lti.model import StateSpace
+from repro.utils.validation import ValidationError
+
+
+def feedforward_gain(plant: StateSpace, K: np.ndarray) -> np.ndarray:
+    """Static feedforward gain ``N`` for unity DC tracking.
+
+    With the control law ``u = -K x + N r`` the closed loop is
+    ``x_{k+1} = (A - B K) x_k + B N r`` with output
+    ``y = (C - D K) x + D N r``, so the DC gain from ``r`` to ``y`` is
+    ``G = (C - D K)(I - A + B K)^{-1} B + D`` and the feedforward is its
+    (pseudo-)inverse ``N = G^{+}``.
+    """
+    K = np.atleast_2d(np.asarray(K, dtype=float))
+    n = plant.n_states
+    closed = plant.A - plant.B @ K
+    try:
+        core = np.linalg.solve(np.eye(n) - closed, plant.B)
+    except np.linalg.LinAlgError as exc:
+        raise ValidationError(
+            "closed loop has a pole at z = 1; cannot compute DC feedforward"
+        ) from exc
+    dc = (plant.C - plant.D @ K) @ core + plant.D
+    return np.linalg.pinv(dc)
+
+
+def tracking_state_target(
+    plant: StateSpace,
+    y_desired: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Steady-state ``(x_ss, u_ss)`` achieving output ``y_desired``.
+
+    Solves the linear system
+
+    ``[[A - I, B], [C, D]] [x_ss; u_ss] = [0; y_des]``
+
+    in the least-squares sense, which also covers plants with more outputs
+    than inputs (the extra outputs are matched as closely as possible).
+    """
+    y_desired = np.asarray(y_desired, dtype=float).reshape(-1)
+    if y_desired.size != plant.n_outputs:
+        raise ValidationError(
+            f"y_desired must have length {plant.n_outputs}, got {y_desired.size}"
+        )
+    n, p = plant.n_states, plant.n_inputs
+    upper = np.hstack([plant.A - np.eye(n), plant.B])
+    lower = np.hstack([plant.C, plant.D])
+    lhs = np.vstack([upper, lower])
+    rhs = np.concatenate([np.zeros(n), y_desired])
+    solution, *_ = np.linalg.lstsq(lhs, rhs, rcond=None)
+    x_ss = solution[:n]
+    u_ss = solution[n : n + p]
+    return x_ss, u_ss

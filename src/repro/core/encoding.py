@@ -1,0 +1,232 @@
+"""Constraint encoding shared by the attack-synthesis backends.
+
+Algorithm 1 asks for an attack vector such that
+
+* every residue stays strictly below its threshold (stealth w.r.t. the
+  residue detector),
+* every existing monitoring constraint ``mdc`` is satisfied (stealth w.r.t.
+  the plant monitors), and
+* the performance criterion ``pfc`` is violated.
+
+For the noiseless LTI closed loop all involved signals are affine in the
+decision vector, so the first two items become a conjunction of affine
+constraints and the third a disjunction of affine constraints (one branch per
+way of violating a ``pfc`` condition).  This module materialises exactly that
+structure; the LP backend enumerates the branches and the SMT backend hands
+the disjunction to the DPLL(T) solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import SynthesisProblem
+from repro.core.unroll import AffineConstraint, ClosedLoopUnrolling
+from repro.detectors.threshold import ThresholdVector
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class AttackEncoding:
+    """Affine-constraint view of one Algorithm 1 query.
+
+    Attributes
+    ----------
+    problem:
+        The synthesis problem being queried.
+    threshold:
+        Candidate threshold vector (``None`` disables the residue detector,
+        matching the first call of the synthesis loops).
+    unrolling:
+        The affine closed-loop unrolling used to build every constraint.
+    """
+
+    problem: SynthesisProblem
+    threshold: ThresholdVector | None = None
+    unrolling: ClosedLoopUnrolling = None
+    _base: list[AffineConstraint] = field(default_factory=list, repr=False)
+    _branches: list[AffineConstraint] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.problem.residue_norm != "inf":
+            raise ValidationError(
+                "formal attack synthesis requires the infinity residue norm "
+                "(problem.residue_norm='inf'); other norms are only supported "
+                "for simulation-based evaluation"
+            )
+        if self.unrolling is None:
+            self.unrolling = self.problem.unrolling()
+        self._base = self._build_base_constraints()
+        self._branches = self._build_violation_branches()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Number of decision variables."""
+        return self.unrolling.n_variables
+
+    @property
+    def variable_names(self) -> list[str]:
+        """Names of the decision variables (for the SMT backend and diagnostics)."""
+        return self.unrolling.variable_names
+
+    def base_constraints(self) -> list[AffineConstraint]:
+        """Stealth + monitor constraints that must all hold."""
+        return list(self._base)
+
+    def violation_branches(self) -> list[AffineConstraint]:
+        """One constraint per way of violating the performance criterion."""
+        return list(self._branches)
+
+    def variable_bounds(self) -> list[tuple[float | None, float | None]]:
+        """Box bounds on the decision variables (attack bound + initial box)."""
+        return self.unrolling.variable_bounds(self.problem.attack_bound)
+
+    # ------------------------------------------------------------------
+    def _strictified(
+        self, row: np.ndarray, constant: float, label: str, kind: str = "generic"
+    ) -> AffineConstraint:
+        """Encode a strict inequality ``row·theta + constant < 0`` robustly.
+
+        With a positive strictness margin the constraint becomes the
+        non-strict ``row·theta + constant + margin <= 0``; with zero margin
+        the strict flag is kept (the SMT backend handles it exactly, the LP
+        backend treats it as non-strict).
+        """
+        margin = float(self.problem.strictness)
+        if margin > 0:
+            return AffineConstraint(
+                row=row, constant=constant + margin, strict=False, label=label, kind=kind
+            )
+        return AffineConstraint(row=row, constant=constant, strict=True, label=label, kind=kind)
+
+    def _build_base_constraints(self) -> list[AffineConstraint]:
+        constraints: list[AffineConstraint] = []
+        constraints.extend(self._stealth_constraints())
+        constraints.extend(self._monitor_constraints())
+        return constraints
+
+    def _stealth_constraints(self) -> list[AffineConstraint]:
+        """``|z_k[i]| / w_i < Th[k]`` for every instance with a finite threshold."""
+        if self.threshold is None:
+            return []
+        constraints: list[AffineConstraint] = []
+        horizon = self.problem.horizon
+        effective = self.threshold.effective(horizon)
+        weights = self.problem.residue_weights
+        if weights is None:
+            weights = np.ones(self.problem.n_outputs)
+        for k in range(horizon):
+            bound = effective[k]
+            if not np.isfinite(bound):
+                continue
+            residue = self.unrolling.residue_map(k)
+            for channel in range(self.problem.n_outputs):
+                row, constant = residue.row(channel)
+                scale = float(weights[channel])
+                row = row / scale
+                constant = constant / scale
+                constraints.append(
+                    self._strictified(
+                        row, constant - bound, f"stealth[z{channel}@{k}]<Th", kind="stealth"
+                    )
+                )
+                constraints.append(
+                    self._strictified(
+                        -row, -constant - bound, f"stealth[-z{channel}@{k}]<Th", kind="stealth"
+                    )
+                )
+        return constraints
+
+    def _monitor_constraints(self) -> list[AffineConstraint]:
+        """All ``mdc`` conditions mapped onto the decision variables.
+
+        The encoding requires the monitors to be satisfied at every sampling
+        instance.  This is the conservative reading of dead-zone monitors
+        (the attacker never violates them); see
+        ``DeadZoneMonitor.stealth_windows`` for the exact semantics, which the
+        SMT backend can optionally enumerate.
+        """
+        constraints: list[AffineConstraint] = []
+        mdc = self.problem.mdc
+        if len(mdc) == 0:
+            return constraints
+        dt = self.problem.dt
+        for k in range(self.problem.horizon):
+            for condition in mdc.conditions_at(k, dt):
+                row = np.zeros(self.n_variables)
+                constant = condition.constant
+                for sample, channel, coefficient in condition.terms:
+                    sample_row, sample_constant = self.unrolling.measurement_map(sample).row(channel)
+                    row = row + coefficient * sample_row
+                    constant += coefficient * sample_constant
+                if condition.upper is not None:
+                    constraints.append(
+                        AffineConstraint(
+                            row=row,
+                            constant=constant - condition.upper,
+                            strict=False,
+                            label=f"mdc[{condition.label}]<=ub",
+                            kind="mdc",
+                        )
+                    )
+                if condition.lower is not None:
+                    constraints.append(
+                        AffineConstraint(
+                            row=-row,
+                            constant=condition.lower - constant,
+                            strict=False,
+                            label=f"mdc[{condition.label}]>=lb",
+                            kind="mdc",
+                        )
+                    )
+        return constraints
+
+    def _build_violation_branches(self) -> list[AffineConstraint]:
+        """Each branch asserts that one ``pfc`` condition fails (strictly)."""
+        branches: list[AffineConstraint] = []
+        for condition in self.problem.pfc.conditions(self.problem.horizon):
+            row = np.zeros(self.n_variables)
+            constant = condition.constant
+            for sample, index, coefficient in condition.terms:
+                sample_row, sample_constant = self.unrolling.state_map(sample).row(index)
+                row = row + coefficient * sample_row
+                constant += coefficient * sample_constant
+            if condition.lower is not None:
+                # Violation: value < lower.
+                branches.append(
+                    self._strictified(
+                        row,
+                        constant - condition.lower,
+                        f"violate[{condition.label}]<lb",
+                        kind="violation",
+                    )
+                )
+            if condition.upper is not None:
+                # Violation: value > upper.
+                branches.append(
+                    self._strictified(
+                        -row,
+                        condition.upper - constant,
+                        f"violate[{condition.label}]>ub",
+                        kind="violation",
+                    )
+                )
+        return branches
+
+    # ------------------------------------------------------------------
+    def theta_satisfies_base(self, theta: np.ndarray) -> bool:
+        """Check a candidate decision vector against all base constraints."""
+        theta = np.asarray(theta, dtype=float).reshape(-1)
+        return not any(constraint.violated_by(theta) for constraint in self._base)
+
+    def theta_violates_pfc(self, theta: np.ndarray) -> bool:
+        """Check whether a candidate decision vector triggers some violation branch."""
+        theta = np.asarray(theta, dtype=float).reshape(-1)
+        for branch in self._branches:
+            value = float(branch.row @ theta) + branch.constant
+            if value <= 0.0:
+                return True
+        return False

@@ -1,0 +1,194 @@
+"""False-alarm-rate (FAR) evaluation.
+
+Reproduces the paper's §IV study: draw a population of random bounded
+measurement-noise vectors, keep only those that (a) keep the performance
+criterion satisfied and (b) pass the existing monitors, then report — for
+each candidate detector — the fraction of the surviving benign traces on
+which it raises an alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import SynthesisProblem
+from repro.detectors.threshold import ThresholdVector
+from repro.lti.simulate import SimulationTrace
+from repro.noise.models import BoundedUniformNoise, NoiseModel
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass
+class FalseAlarmStudy:
+    """Result of one FAR study.
+
+    Attributes
+    ----------
+    rates:
+        Mapping from detector label to false alarm rate (fraction in [0, 1]).
+    generated:
+        Number of noise vectors drawn.
+    kept:
+        Number of benign traces surviving the pfc / mdc filters (the FAR
+        denominators).
+    discarded_pfc / discarded_mdc:
+        How many trials each filter removed.
+    """
+
+    rates: dict[str, float] = field(default_factory=dict)
+    generated: int = 0
+    kept: int = 0
+    discarded_pfc: int = 0
+    discarded_mdc: int = 0
+    details: dict = field(default_factory=dict)
+
+    def rate(self, label: str) -> float:
+        """FAR of one detector (by label)."""
+        return self.rates[label]
+
+
+class FalseAlarmEvaluator:
+    """Monte-Carlo FAR evaluation over benign (noise-only) traces.
+
+    Parameters
+    ----------
+    problem:
+        The synthesis problem; its closed loop, pfc and mdc define the benign
+        population and the filters.
+    noise_model:
+        Measurement-noise model; defaults to bounded uniform noise with
+        per-channel bounds of one standard deviation of the plant's
+        measurement-noise covariance (the paper's "suitably small range").
+    count:
+        Number of noise vectors to draw (the paper used 1000).
+    seed:
+        RNG seed for reproducibility.
+    include_process_noise:
+        When True the plant's process noise is also sampled (the paper's
+        study perturbs measurements only, so the default is False).
+    filter_pfc / filter_mdc:
+        Whether to discard trials violating pfc or alarming mdc before
+        computing rates (both True per the paper).
+    initial_state_spread:
+        Optional per-state half-widths of a uniform box around the problem's
+        nominal initial state.  Each benign trial draws its initial plant
+        state from that box while the estimator still starts at the nominal
+        value, producing the realistic early innovation transient of a system
+        whose operating point is only approximately known.  ``None`` keeps
+        the nominal initial state for every trial.
+    """
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        noise_model: NoiseModel | None = None,
+        count: int = 1000,
+        seed: int | None = 0,
+        include_process_noise: bool = False,
+        filter_pfc: bool = True,
+        filter_mdc: bool = True,
+        initial_state_spread: np.ndarray | None = None,
+    ):
+        self.problem = problem
+        self.count = int(check_positive("count", count))
+        self.seed = seed
+        self.include_process_noise = include_process_noise
+        self.filter_pfc = filter_pfc
+        self.filter_mdc = filter_mdc
+        if initial_state_spread is not None:
+            initial_state_spread = np.asarray(initial_state_spread, dtype=float).reshape(-1)
+            if initial_state_spread.size != problem.system.plant.n_states:
+                raise ValidationError(
+                    "initial_state_spread must have one entry per plant state"
+                )
+            if np.any(initial_state_spread < 0):
+                raise ValidationError("initial_state_spread must be non-negative")
+        self.initial_state_spread = initial_state_spread
+        if noise_model is None:
+            noise_model = self.default_noise_model(problem)
+        if noise_model.dimension != problem.n_outputs:
+            raise ValidationError(
+                f"noise model dimension {noise_model.dimension} does not match "
+                f"the plant's {problem.n_outputs} outputs"
+            )
+        self.noise_model = noise_model
+        self._traces: list[SimulationTrace] | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def default_noise_model(problem: SynthesisProblem, scale: float = 1.0) -> NoiseModel:
+        """Bounded uniform noise with bounds of ``scale`` sigma of the measurement noise."""
+        std = problem.system.plant.measurement_noise_std()
+        if not np.any(std > 0):
+            raise ValidationError(
+                "plant has no measurement-noise covariance; pass an explicit noise_model"
+            )
+        return BoundedUniformNoise(bounds=float(scale) * std)
+
+    # ------------------------------------------------------------------
+    def benign_traces(self) -> list[SimulationTrace]:
+        """The filtered benign population (memoised across evaluate() calls)."""
+        if self._traces is not None:
+            return self._traces
+        rngs = spawn_rngs(self.seed, self.count)
+        traces: list[SimulationTrace] = []
+        self._discarded_pfc = 0
+        self._discarded_mdc = 0
+        for rng in rngs:
+            measurement_noise = self.noise_model.sample(self.problem.horizon, rng)
+            process_noise = None
+            if self.include_process_noise and self.problem.system.plant.Q_w is not None:
+                process_noise = rng.multivariate_normal(
+                    np.zeros(self.problem.system.plant.n_states),
+                    self.problem.system.plant.Q_w,
+                    size=self.problem.horizon,
+                )
+            x0 = None
+            if self.initial_state_spread is not None:
+                offset = rng.uniform(-1.0, 1.0, size=self.initial_state_spread.size)
+                x0 = self.problem.x0 + offset * self.initial_state_spread
+            trace = self.problem.simulate(
+                attack=None,
+                with_noise=False,
+                x0=x0,
+                measurement_noise=measurement_noise,
+                process_noise=process_noise,
+            )
+            if self.filter_pfc and not self.problem.pfc_satisfied(trace):
+                self._discarded_pfc += 1
+                continue
+            if self.filter_mdc and self.problem.mdc_alarm(trace):
+                self._discarded_mdc += 1
+                continue
+            traces.append(trace)
+        self._traces = traces
+        return traces
+
+    # ------------------------------------------------------------------
+    def evaluate(self, detectors: dict[str, ThresholdVector]) -> FalseAlarmStudy:
+        """Compute the FAR of each labelled detector over the benign population."""
+        if not detectors:
+            raise ValidationError("need at least one detector to evaluate")
+        traces = self.benign_traces()
+        study = FalseAlarmStudy(
+            generated=self.count,
+            kept=len(traces),
+            discarded_pfc=getattr(self, "_discarded_pfc", 0),
+            discarded_mdc=getattr(self, "_discarded_mdc", 0),
+        )
+        if not traces:
+            raise ValidationError(
+                "every benign trace was filtered out; reduce the noise bounds or "
+                "disable the filters"
+            )
+        for label, threshold in detectors.items():
+            alarms = [bool(np.any(threshold.alarms(trace.residues))) for trace in traces]
+            study.rates[label] = float(np.mean(alarms))
+        return study
+
+    def evaluate_single(self, threshold: ThresholdVector, label: str = "detector") -> float:
+        """FAR of a single detector."""
+        return self.evaluate({label: threshold}).rates[label]

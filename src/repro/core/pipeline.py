@@ -1,0 +1,145 @@
+"""End-to-end synthesis pipeline.
+
+One call runs the whole workflow of the paper's case study:
+
+1. check whether the existing monitors already block every stealthy attack
+   (Algorithm 1 with no residue detector),
+2. synthesize variable thresholds with Algorithm 2 (pivot) and Algorithm 3
+   (step-wise), and the provably safe static baseline,
+3. evaluate the false-alarm rate of every synthesized detector over a
+   benign-noise population,
+4. assemble a report comparing rounds, convergence and FAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.attack_synthesis import AttackSynthesisResult, synthesize_attack
+from repro.core.far import FalseAlarmEvaluator, FalseAlarmStudy
+from repro.core.pivot import PivotThresholdSynthesizer
+from repro.core.problem import SynthesisProblem
+from repro.core.static_synthesis import StaticThresholdSynthesizer
+from repro.core.stepwise import StepwiseThresholdSynthesizer
+from repro.core.synthesis_result import ThresholdSynthesisResult
+from repro.noise.models import NoiseModel
+from repro.utils.validation import ValidationError
+
+_KNOWN_ALGORITHMS = ("pivot", "stepwise", "static")
+
+
+@dataclass
+class PipelineReport:
+    """Aggregated output of a :class:`SynthesisPipeline` run.
+
+    Attributes
+    ----------
+    vulnerability:
+        Algorithm 1 result with no residue detector: does an attack bypass
+        the existing monitors at all?
+    synthesis:
+        Per-algorithm :class:`ThresholdSynthesisResult`.
+    far_study:
+        FAR comparison over the shared benign population (``None`` when FAR
+        evaluation was skipped).
+    """
+
+    vulnerability: AttackSynthesisResult
+    synthesis: dict[str, ThresholdSynthesisResult] = field(default_factory=dict)
+    far_study: FalseAlarmStudy | None = None
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """True when the plant's own monitors can be bypassed."""
+        return self.vulnerability.found
+
+    def summary_rows(self) -> list[dict]:
+        """Tabular summary (one row per algorithm) used by the benchmarks and examples."""
+        rows = []
+        for name, result in self.synthesis.items():
+            row = {
+                "algorithm": name,
+                "rounds": result.rounds,
+                "converged": result.converged,
+                "solver_time_s": round(result.total_solver_time, 3),
+            }
+            if self.far_study is not None and name in self.far_study.rates:
+                row["false_alarm_rate"] = self.far_study.rates[name]
+            rows.append(row)
+        return rows
+
+
+@dataclass
+class SynthesisPipeline:
+    """Convenience wrapper running vulnerability check, synthesis and FAR study.
+
+    Parameters
+    ----------
+    problem:
+        The synthesis problem instance.
+    backend:
+        Attack-synthesis backend shared by all algorithms.
+    algorithms:
+        Subset of ``("pivot", "stepwise", "static")`` to run.
+    far_count:
+        Size of the benign-noise population for the FAR study (0 disables it).
+    far_noise_model:
+        Noise model for the FAR study (default: 3-sigma bounded uniform).
+    seed:
+        RNG seed for the FAR study.
+    """
+
+    problem: SynthesisProblem
+    backend: str | object = "lp"
+    algorithms: tuple[str, ...] = _KNOWN_ALGORITHMS
+    far_count: int = 200
+    far_noise_model: NoiseModel | None = None
+    far_initial_state_spread: object = None
+    seed: int | None = 0
+    max_rounds: int = 500
+    min_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.algorithms) - set(_KNOWN_ALGORITHMS)
+        if unknown:
+            raise ValidationError(
+                f"unknown algorithms {sorted(unknown)}; known: {_KNOWN_ALGORITHMS}"
+            )
+
+    # ------------------------------------------------------------------
+    def _synthesizer(self, name: str):
+        if name == "pivot":
+            return PivotThresholdSynthesizer(
+                backend=self.backend, max_rounds=self.max_rounds, min_threshold=self.min_threshold
+            )
+        if name == "stepwise":
+            return StepwiseThresholdSynthesizer(
+                backend=self.backend, max_rounds=self.max_rounds, min_threshold=self.min_threshold
+            )
+        return StaticThresholdSynthesizer(backend=self.backend)
+
+    # ------------------------------------------------------------------
+    def run(self) -> PipelineReport:
+        """Execute the full pipeline and return the report."""
+        vulnerability = synthesize_attack(self.problem, threshold=None, backend=self.backend)
+        report = PipelineReport(vulnerability=vulnerability)
+
+        for name in self.algorithms:
+            synthesizer = self._synthesizer(name)
+            report.synthesis[name] = synthesizer.synthesize(self.problem)
+
+        if self.far_count > 0 and report.synthesis:
+            evaluator = FalseAlarmEvaluator(
+                self.problem,
+                noise_model=self.far_noise_model,
+                count=self.far_count,
+                seed=self.seed,
+                initial_state_spread=self.far_initial_state_spread,
+            )
+            detectors = {
+                name: result.threshold
+                for name, result in report.synthesis.items()
+                if result.threshold is not None
+            }
+            report.far_study = evaluator.evaluate(detectors)
+        return report

@@ -1,0 +1,268 @@
+"""Performance criteria (the paper's ``pfc``).
+
+A performance criterion is a conjunction of affine conditions over the plant
+state trajectory.  The paper's running example — "reach ``x_des ± epsilon``
+within ``T`` iterations" and the VSC instance "yaw rate must reach within
+80 % of the desired value within 50 sampling instances" — are both of this
+form, so the class hierarchy below exposes:
+
+* :class:`StateCondition` — one affine double inequality over state samples,
+* :class:`PerformanceCriterion` — the abstract conjunction-of-conditions
+  interface consumed by the attack-synthesis encodings (the attacker must
+  violate *some* condition), and
+* concrete criteria (:class:`ReachSetCriterion`,
+  :class:`FractionOfTargetCriterion`, :class:`StateBoundCriterion`,
+  :class:`CompositeCriterion`).
+
+Index convention: state sample ``k`` refers to the plant state after ``k``
+closed-loop iterations; ``k = 0`` is the initial state and ``k = horizon`` is
+the final state of the analysis window (``trace.states[k]``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class StateCondition:
+    """Affine double inequality over plant-state samples.
+
+    Semantics: ``lower <= sum(coeff * x[sample][index]) + constant <= upper``.
+    Either bound may be ``None``.
+    """
+
+    terms: tuple[tuple[int, int, float], ...]
+    constant: float = 0.0
+    lower: float | None = None
+    upper: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lower is None and self.upper is None:
+            raise ValidationError("StateCondition needs at least one bound")
+        terms = tuple((int(k), int(i), float(w)) for k, i, w in self.terms)
+        object.__setattr__(self, "terms", terms)
+
+    def value(self, states: np.ndarray) -> float:
+        """Evaluate the affine expression on a ``(T + 1, n)`` state trajectory."""
+        total = self.constant
+        for sample, index, coefficient in self.terms:
+            total += coefficient * float(states[sample, index])
+        return total
+
+    def holds(self, states: np.ndarray, tol: float = 1e-9) -> bool:
+        """Check the condition on a concrete state trajectory."""
+        value = self.value(states)
+        if self.lower is not None and value < self.lower - tol:
+            return False
+        if self.upper is not None and value > self.upper + tol:
+            return False
+        return True
+
+    def max_sample(self) -> int:
+        """Largest state-sample index referenced (defines the horizon needed)."""
+        return max(k for k, _, _ in self.terms)
+
+
+class PerformanceCriterion(abc.ABC):
+    """Abstract conjunction of :class:`StateCondition` objects."""
+
+    name: str = "pfc"
+
+    @abc.abstractmethod
+    def conditions(self, horizon: int) -> list[StateCondition]:
+        """The conditions instantiated for an analysis window of ``horizon`` iterations."""
+
+    def satisfied(self, states: np.ndarray, horizon: int | None = None) -> bool:
+        """True when every condition holds on the given state trajectory."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        if horizon is None:
+            horizon = states.shape[0] - 1
+        return all(condition.holds(states) for condition in self.conditions(horizon))
+
+    def satisfied_on_trace(self, trace) -> bool:
+        """Evaluate the criterion on a :class:`~repro.lti.simulate.SimulationTrace`."""
+        return self.satisfied(trace.states, trace.horizon)
+
+    def required_horizon(self) -> int | None:
+        """Minimum horizon needed, when the criterion pins specific samples (else None)."""
+        return None
+
+
+@dataclass
+class ReachSetCriterion(PerformanceCriterion):
+    """Reach ``x_des ± epsilon`` (component-wise) at iteration ``at``.
+
+    This is the paper's formal target property: the closed loop must drive the
+    state into the epsilon-box around the set point within ``T`` iterations;
+    an attacker succeeds by keeping the final state outside the box.
+
+    Parameters
+    ----------
+    x_des:
+        Desired state (length ``n``).
+    epsilon:
+        Scalar or per-component half-width of the acceptance box.
+    components:
+        State indices the criterion constrains (default: all).
+    at:
+        Iteration index at which the box must be reached; ``None`` means the
+        final iteration of the analysis window.
+    """
+
+    x_des: np.ndarray
+    epsilon: np.ndarray | float
+    components: tuple[int, ...] | None = None
+    at: int | None = None
+    name: str = "reach-set"
+
+    def __post_init__(self) -> None:
+        self.x_des = np.asarray(self.x_des, dtype=float).reshape(-1)
+        epsilon = np.asarray(self.epsilon, dtype=float)
+        if epsilon.ndim == 0:
+            epsilon = np.full(self.x_des.size, float(epsilon))
+        self.epsilon = epsilon.reshape(-1)
+        if self.epsilon.size != self.x_des.size:
+            raise ValidationError("epsilon must be scalar or match x_des length")
+        if np.any(self.epsilon < 0):
+            raise ValidationError("epsilon must be non-negative")
+        if self.components is None:
+            self.components = tuple(range(self.x_des.size))
+        else:
+            self.components = tuple(int(i) for i in self.components)
+
+    def conditions(self, horizon: int) -> list[StateCondition]:
+        sample = int(horizon if self.at is None else self.at)
+        result = []
+        for index in self.components:
+            result.append(
+                StateCondition(
+                    terms=((sample, index, 1.0),),
+                    constant=-float(self.x_des[index]),
+                    lower=-float(self.epsilon[index]),
+                    upper=float(self.epsilon[index]),
+                    label=f"{self.name}[x{index}@{sample}]",
+                )
+            )
+        return result
+
+    def required_horizon(self) -> int | None:
+        return None if self.at is None else int(self.at)
+
+
+@dataclass
+class FractionOfTargetCriterion(PerformanceCriterion):
+    """A state component must reach a fraction of its target value.
+
+    Models the VSC performance criterion: "yaw rate must reach within 80 % of
+    the desired value within 50 sampling instances", i.e.
+    ``x[at][index] >= fraction * target`` for a positive target (the
+    inequality direction flips automatically for negative targets).  With
+    ``two_sided=True`` the state must additionally not overshoot beyond
+    ``(2 - fraction) * target``.
+    """
+
+    state_index: int
+    target: float
+    fraction: float
+    at: int | None = None
+    two_sided: bool = False
+    name: str = "fraction-of-target"
+
+    def __post_init__(self) -> None:
+        self.state_index = int(self.state_index)
+        self.target = float(self.target)
+        self.fraction = float(self.fraction)
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValidationError("fraction must lie in (0, 1]")
+        if self.target == 0.0:
+            raise ValidationError(
+                "target must be non-zero; use ReachSetCriterion for zero targets"
+            )
+
+    def conditions(self, horizon: int) -> list[StateCondition]:
+        sample = int(horizon if self.at is None else self.at)
+        near_bound = self.fraction * self.target
+        far_bound = (2.0 - self.fraction) * self.target
+        lower: float | None
+        upper: float | None
+        if self.target > 0:
+            lower, upper = near_bound, (far_bound if self.two_sided else None)
+        else:
+            lower, upper = (far_bound if self.two_sided else None), near_bound
+        return [
+            StateCondition(
+                terms=((sample, self.state_index, 1.0),),
+                lower=lower,
+                upper=upper,
+                label=f"{self.name}[x{self.state_index}@{sample}]",
+            )
+        ]
+
+    def required_horizon(self) -> int | None:
+        return None if self.at is None else int(self.at)
+
+
+@dataclass
+class StateBoundCriterion(PerformanceCriterion):
+    """Generic bound on one state component at one or every iteration.
+
+    With ``at=None`` and ``every_step=True`` this doubles as a safety
+    invariant ("the deviation never exceeds ...") which is useful for the
+    trajectory-tracking example.
+    """
+
+    state_index: int
+    lower: float | None = None
+    upper: float | None = None
+    at: int | None = None
+    every_step: bool = False
+    name: str = "state-bound"
+
+    def __post_init__(self) -> None:
+        self.state_index = int(self.state_index)
+        if self.lower is None and self.upper is None:
+            raise ValidationError("StateBoundCriterion needs at least one bound")
+
+    def conditions(self, horizon: int) -> list[StateCondition]:
+        if self.every_step:
+            samples = range(1, int(horizon) + 1)
+        else:
+            samples = [int(horizon if self.at is None else self.at)]
+        return [
+            StateCondition(
+                terms=((sample, self.state_index, 1.0),),
+                lower=self.lower,
+                upper=self.upper,
+                label=f"{self.name}[x{self.state_index}@{sample}]",
+            )
+            for sample in samples
+        ]
+
+    def required_horizon(self) -> int | None:
+        return None if self.at is None else int(self.at)
+
+
+@dataclass
+class CompositeCriterion(PerformanceCriterion):
+    """Conjunction of several criteria."""
+
+    members: list[PerformanceCriterion] = field(default_factory=list)
+    name: str = "composite-pfc"
+
+    def conditions(self, horizon: int) -> list[StateCondition]:
+        result: list[StateCondition] = []
+        for member in self.members:
+            result.extend(member.conditions(horizon))
+        return result
+
+    def required_horizon(self) -> int | None:
+        horizons = [m.required_horizon() for m in self.members]
+        horizons = [h for h in horizons if h is not None]
+        return max(horizons) if horizons else None

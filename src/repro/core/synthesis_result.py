@@ -1,0 +1,50 @@
+"""Shared result container for the threshold-synthesis algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detectors.threshold import ThresholdVector
+from repro.utils.results import SolveStatus, SynthesisRecord
+
+
+@dataclass
+class ThresholdSynthesisResult:
+    """Outcome of a threshold-synthesis run (Algorithms 2, 3 or the static baseline).
+
+    Attributes
+    ----------
+    threshold:
+        The synthesized threshold vector.
+    rounds:
+        Number of attack-synthesis (Algorithm 1) calls made — the paper's
+        "round" counter.
+    converged:
+        True when the final Algorithm 1 call proved that no stealthy
+        successful attack remains (``UNSAT``).
+    status:
+        Status of the final Algorithm 1 call.
+    vulnerable_without_detector:
+        Whether an attack existed before any threshold was introduced (if
+        False the existing monitors already suffice and ``threshold`` is
+        all-unset).
+    history:
+        One :class:`~repro.utils.results.SynthesisRecord` per refinement
+        round, for plots and debugging.
+    total_solver_time:
+        Accumulated wall-clock seconds spent inside Algorithm 1 calls.
+    """
+
+    threshold: ThresholdVector
+    rounds: int
+    converged: bool
+    status: SolveStatus
+    vulnerable_without_detector: bool
+    history: list[SynthesisRecord] = field(default_factory=list)
+    total_solver_time: float = 0.0
+    algorithm: str = ""
+
+    @property
+    def is_secure(self) -> bool:
+        """True when the synthesized detector provably blocks all stealthy attacks."""
+        return self.converged

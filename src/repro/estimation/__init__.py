@@ -1,0 +1,31 @@
+"""State estimation substrate: Kalman filters and Luenberger observers.
+
+The paper's detection architecture compares measured outputs against the
+predictions of a steady-state Kalman filter; this package provides that
+filter (gain computed from the discrete algebraic Riccati equation), a
+time-varying Kalman filter for reference, a pole-placement Luenberger
+observer, and innovation statistics used by the chi-square baseline detector.
+"""
+
+from repro.estimation.kalman import (
+    kalman_gain,
+    steady_state_kalman,
+    KalmanFilter,
+    TimeVaryingKalmanFilter,
+)
+from repro.estimation.luenberger import luenberger_gain, LuenbergerObserver
+from repro.estimation.innovation import (
+    innovation_covariance,
+    normalized_innovation_squared,
+)
+
+__all__ = [
+    "kalman_gain",
+    "steady_state_kalman",
+    "KalmanFilter",
+    "TimeVaryingKalmanFilter",
+    "luenberger_gain",
+    "LuenbergerObserver",
+    "innovation_covariance",
+    "normalized_innovation_squared",
+]

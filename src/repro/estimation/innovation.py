@@ -1,0 +1,60 @@
+"""Innovation (residue) statistics.
+
+Under no attack and Gaussian noise, the Kalman innovation ``z_k`` is zero-mean
+with covariance ``S = C P C^T + R``; the normalised innovation squared
+``z_k^T S^{-1} z_k`` is chi-square distributed with ``m`` degrees of freedom.
+These quantities feed the chi-square baseline detector and the false-alarm
+analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lti.model import StateSpace
+from repro.utils.validation import ValidationError, check_symmetric
+
+
+def innovation_covariance(
+    plant: StateSpace,
+    prediction_covariance: np.ndarray,
+    R_v: np.ndarray | None = None,
+) -> np.ndarray:
+    """Innovation covariance ``S = C P C^T + R`` of a steady-state Kalman filter."""
+    P = check_symmetric("prediction_covariance", prediction_covariance)
+    if R_v is None:
+        R_v = plant.R_v if plant.R_v is not None else np.zeros((plant.n_outputs,) * 2)
+    R_v = check_symmetric("R_v", R_v)
+    S = plant.C @ P @ plant.C.T + R_v
+    return 0.5 * (S + S.T)
+
+
+def normalized_innovation_squared(
+    residues: np.ndarray,
+    innovation_cov: np.ndarray,
+) -> np.ndarray:
+    """Per-sample statistic ``g_k = z_k^T S^{-1} z_k`` for a residue sequence.
+
+    Parameters
+    ----------
+    residues:
+        Array of shape ``(T, m)`` (a single residue vector is also accepted).
+    innovation_cov:
+        The ``m x m`` innovation covariance ``S``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``T`` array of chi-square statistics.
+    """
+    residues = np.atleast_2d(np.asarray(residues, dtype=float))
+    S = check_symmetric("innovation_cov", innovation_cov)
+    if residues.shape[1] != S.shape[0]:
+        raise ValidationError(
+            f"residue dimension {residues.shape[1]} does not match covariance size {S.shape[0]}"
+        )
+    try:
+        S_inv = np.linalg.inv(S)
+    except np.linalg.LinAlgError as exc:
+        raise ValidationError("innovation covariance is singular") from exc
+    return np.einsum("ki,ij,kj->k", residues, S_inv, residues)

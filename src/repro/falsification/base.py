@@ -1,0 +1,48 @@
+"""Common backend interface for attack synthesis."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.encoding import AttackEncoding
+from repro.utils.results import SolveStatus
+
+
+@dataclass
+class BackendAnswer:
+    """Raw answer of a backend to one Algorithm 1 query.
+
+    Attributes
+    ----------
+    status:
+        ``SAT`` (attack found), ``UNSAT`` (proved none exists under the
+        backend's encoding) or ``UNKNOWN`` (budget exhausted / incomplete
+        search gave up).
+    theta:
+        The satisfying decision vector when ``status`` is ``SAT``.
+    diagnostics:
+        Backend-specific statistics (solver iterations, branches explored,
+        wall-clock time, ...).
+    """
+
+    status: SolveStatus
+    theta: np.ndarray | None = None
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def found_attack(self) -> bool:
+        """True when a concrete witness was produced."""
+        return self.status is SolveStatus.SAT and self.theta is not None
+
+
+class AttackBackend(abc.ABC):
+    """A decision procedure for the stealthy-attack existence query."""
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def solve(self, encoding: AttackEncoding, time_budget: float | None = None) -> BackendAnswer:
+        """Answer the query described by ``encoding``."""

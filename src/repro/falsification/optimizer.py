@@ -1,0 +1,127 @@
+"""Simulation-based optimization falsifier (incomplete third backend).
+
+Searches the attack space directly by simulating the closed loop and
+minimising a robustness objective:
+
+``robustness = margin(pfc) + penalty(stealth violations) + penalty(mdc alarms)``
+
+A negative robustness with zero penalties means a stealthy successful attack
+was found.  The search combines random restarts with Nelder–Mead polishing
+from :func:`scipy.optimize.minimize`, which is the classical S-TaLiRo /
+Breach-style falsification recipe.  The backend can never prove absence of
+attacks (it returns ``UNKNOWN`` instead of ``UNSAT``); it exists as an
+ablation point and as an independent cross-check of the formal backends.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.encoding import AttackEncoding
+from repro.falsification.base import AttackBackend, BackendAnswer
+from repro.utils.results import SolveStatus
+from repro.utils.rng import ensure_rng
+
+
+class OptimizationFalsifier(AttackBackend):
+    """Random-restart + Nelder–Mead falsification over the decision vector."""
+
+    name = "optimizer"
+
+    def __init__(
+        self,
+        restarts: int = 10,
+        iterations_per_restart: int = 200,
+        seed: int | None = 0,
+        penalty_weight: float = 100.0,
+    ):
+        self.restarts = int(restarts)
+        self.iterations_per_restart = int(iterations_per_restart)
+        self.seed = seed
+        self.penalty_weight = float(penalty_weight)
+
+    # ------------------------------------------------------------------
+    def _objective(self, encoding: AttackEncoding):
+        base = encoding.base_constraints()
+        branches = encoding.violation_branches()
+
+        def robustness(theta: np.ndarray) -> float:
+            theta = np.asarray(theta, dtype=float)
+            penalty = 0.0
+            for constraint in base:
+                value = float(constraint.row @ theta) + constraint.constant
+                if value > 0:
+                    penalty += value
+            # Distance to the closest pfc-violation branch (want <= 0).
+            branch_values = [float(b.row @ theta) + b.constant for b in branches]
+            violation_margin = min(branch_values) if branch_values else np.inf
+            return violation_margin + self.penalty_weight * penalty
+
+        return robustness
+
+    def _initial_scale(self, encoding: AttackEncoding) -> float:
+        bound = encoding.problem.attack_bound
+        if bound is None:
+            return 1.0
+        bound_array = np.asarray(bound, dtype=float).reshape(-1)
+        return float(np.max(bound_array))
+
+    def solve(self, encoding: AttackEncoding, time_budget: float | None = None) -> BackendAnswer:
+        start = time.monotonic()
+        branches = encoding.violation_branches()
+        if not branches:
+            return BackendAnswer(status=SolveStatus.UNSAT, diagnostics={"branches": 0})
+
+        rng = ensure_rng(self.seed)
+        objective = self._objective(encoding)
+        bounds = encoding.variable_bounds()
+        scale = self._initial_scale(encoding)
+        n = encoding.n_variables
+
+        best_theta = None
+        best_value = np.inf
+        evaluations = 0
+        for restart in range(self.restarts):
+            if time_budget is not None and time.monotonic() - start > time_budget:
+                break
+            theta0 = rng.uniform(-scale, scale, size=n)
+            for index, (low, high) in enumerate(bounds):
+                if low is not None:
+                    theta0[index] = max(theta0[index], low)
+                if high is not None:
+                    theta0[index] = min(theta0[index], high)
+            result = optimize.minimize(
+                objective,
+                theta0,
+                method="Nelder-Mead",
+                options={"maxiter": self.iterations_per_restart, "xatol": 1e-6, "fatol": 1e-9},
+            )
+            evaluations += int(result.nfev)
+            if result.fun < best_value:
+                best_value = float(result.fun)
+                best_theta = np.asarray(result.x, dtype=float)
+            if best_value <= 0.0 and encoding.theta_satisfies_base(best_theta):
+                return BackendAnswer(
+                    status=SolveStatus.SAT,
+                    theta=best_theta,
+                    diagnostics={
+                        "backend": self.name,
+                        "restarts_used": restart + 1,
+                        "objective": best_value,
+                        "evaluations": evaluations,
+                        "elapsed": time.monotonic() - start,
+                    },
+                )
+
+        return BackendAnswer(
+            status=SolveStatus.UNKNOWN,
+            diagnostics={
+                "backend": self.name,
+                "best_objective": best_value,
+                "evaluations": evaluations,
+                "elapsed": time.monotonic() - start,
+            },
+        )

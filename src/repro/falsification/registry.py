@@ -1,0 +1,41 @@
+"""Backend registry: resolve a backend by name."""
+
+from __future__ import annotations
+
+from repro.falsification.base import AttackBackend
+from repro.falsification.lp_backend import LPAttackBackend
+from repro.falsification.optimizer import OptimizationFalsifier
+from repro.falsification.smt_backend import SMTAttackBackend
+from repro.utils.validation import ValidationError
+
+_BACKENDS = {
+    "lp": LPAttackBackend,
+    "smt": SMTAttackBackend,
+    "optimizer": OptimizationFalsifier,
+}
+
+
+def available_backends() -> list[str]:
+    """Names of the registered attack-synthesis backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name_or_backend, **kwargs) -> AttackBackend:
+    """Resolve a backend instance from a name or pass through an instance.
+
+    Parameters
+    ----------
+    name_or_backend:
+        Either an :class:`AttackBackend` instance (returned unchanged) or one
+        of the registered names (``"lp"``, ``"smt"``, ``"optimizer"``).
+    kwargs:
+        Constructor arguments forwarded when a name is given.
+    """
+    if isinstance(name_or_backend, AttackBackend):
+        return name_or_backend
+    name = str(name_or_backend)
+    if name not in _BACKENDS:
+        raise ValidationError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    return _BACKENDS[name](**kwargs)

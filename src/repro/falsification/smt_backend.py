@@ -1,0 +1,91 @@
+"""SMT attack-synthesis backend (the Z3 substitute path of the paper).
+
+The whole Algorithm 1 assertion is translated into a single QF-LRA formula::
+
+    AND(base constraints)  AND  OR(violation branches)
+
+over one real variable per decision-vector component, and discharged to the
+DPLL(T) solver in :mod:`repro.smt`.  Compared to the LP backend this handles
+arbitrary Boolean structure (useful for the exact dead-zone semantics of
+monitors) at the cost of speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.encoding import AttackEncoding
+from repro.core.unroll import AffineConstraint
+from repro.falsification.base import AttackBackend, BackendAnswer
+from repro.smt.expr import Atom, Formula, Or
+from repro.smt.linear import LinearExpr
+from repro.smt.solver import Solver
+from repro.utils.results import SolveStatus
+
+
+def _constraint_to_atom(constraint: AffineConstraint, names: list[str]) -> Atom:
+    """Translate ``row·theta + constant (<|<=) 0`` into an SMT atom."""
+    coefficients = {
+        names[index]: float(value)
+        for index, value in enumerate(constraint.row)
+        if abs(value) > 1e-15
+    }
+    expression = LinearExpr(coefficients, float(constraint.constant))
+    return Atom(expression=expression, strict=bool(constraint.strict))
+
+
+def _bounds_to_formulas(
+    bounds: list[tuple[float | None, float | None]], names: list[str]
+) -> list[Formula]:
+    formulas: list[Formula] = []
+    for index, (low, high) in enumerate(bounds):
+        if low is not None:
+            formulas.append(Atom(expression=LinearExpr({names[index]: -1.0}, float(low)), strict=False))
+        if high is not None:
+            formulas.append(Atom(expression=LinearExpr({names[index]: 1.0}, -float(high)), strict=False))
+    return formulas
+
+
+class SMTAttackBackend(AttackBackend):
+    """DPLL(T)-based backend over the from-scratch QF-LRA solver."""
+
+    name = "smt"
+
+    def __init__(self, theory_check: str = "eager"):
+        self.theory_check = theory_check
+
+    def build_formulas(self, encoding: AttackEncoding) -> list[Formula]:
+        """The assertion set for one query (exposed for tests and diagnostics)."""
+        names = encoding.variable_names
+        formulas: list[Formula] = []
+        for constraint in encoding.base_constraints():
+            formulas.append(_constraint_to_atom(constraint, names))
+        formulas.extend(_bounds_to_formulas(encoding.variable_bounds(), names))
+        branches = encoding.violation_branches()
+        if not branches:
+            return formulas
+        branch_atoms = [_constraint_to_atom(branch, names) for branch in branches]
+        formulas.append(Or(*branch_atoms))
+        return formulas
+
+    def solve(self, encoding: AttackEncoding, time_budget: float | None = None) -> BackendAnswer:
+        start = time.monotonic()
+        branches = encoding.violation_branches()
+        if not branches:
+            return BackendAnswer(status=SolveStatus.UNSAT, diagnostics={"branches": 0})
+
+        names = encoding.variable_names
+        solver = Solver(theory_check=self.theory_check, time_budget=time_budget)
+        for formula in self.build_formulas(encoding):
+            solver.add(formula)
+        result = solver.check()
+
+        diagnostics = dict(result.statistics)
+        diagnostics.update({"backend": self.name, "elapsed": time.monotonic() - start})
+
+        if result.status is SolveStatus.SAT:
+            theta = np.array([result.real_model.get(name, 0.0) for name in names])
+            return BackendAnswer(status=SolveStatus.SAT, theta=theta, diagnostics=diagnostics)
+        return BackendAnswer(status=result.status, diagnostics=diagnostics)

@@ -1,0 +1,156 @@
+"""Structural and response analysis of LTI models.
+
+Thin, well-tested wrappers around :mod:`repro.utils.linalg` plus open-loop
+response computations (step, impulse, settling time, DC gain) that the
+benchmark systems and the documentation examples use to sanity-check plant
+definitions before running the security analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lti.model import StateSpace
+from repro.utils import linalg as rla
+from repro.utils.validation import ValidationError, check_positive
+
+
+def is_stable(model: StateSpace) -> bool:
+    """Stability of the open-loop plant.
+
+    For discrete models this is Schur stability (eigenvalues inside the unit
+    circle); for continuous models Hurwitz stability (eigenvalues with
+    negative real part).
+    """
+    eigenvalues = np.linalg.eigvals(model.A)
+    if model.is_discrete:
+        return bool(np.all(np.abs(eigenvalues) < 1.0))
+    return bool(np.all(eigenvalues.real < 0.0))
+
+
+def stability_margin(model: StateSpace) -> float:
+    """Distance to instability.
+
+    Discrete: ``1 - spectral_radius(A)``.  Continuous: ``-max(Re(eig(A)))``.
+    Positive values mean stable.
+    """
+    eigenvalues = np.linalg.eigvals(model.A)
+    if model.is_discrete:
+        return float(1.0 - np.max(np.abs(eigenvalues)))
+    return float(-np.max(eigenvalues.real))
+
+
+def is_controllable(model: StateSpace) -> bool:
+    """Kalman rank test on ``(A, B)``."""
+    return rla.is_controllable(model.A, model.B)
+
+
+def is_observable(model: StateSpace) -> bool:
+    """Kalman rank test on ``(A, C)``."""
+    return rla.is_observable(model.A, model.C)
+
+
+def dc_gain(model: StateSpace) -> np.ndarray:
+    """Steady-state gain from input to output.
+
+    Discrete: ``C (I - A)^{-1} B + D``.  Continuous: ``-C A^{-1} B + D``.
+    """
+    n = model.n_states
+    if model.is_discrete:
+        core = np.linalg.solve(np.eye(n) - model.A, model.B)
+    else:
+        core = np.linalg.solve(-model.A, model.B)
+    return model.C @ core + model.D
+
+
+def step_response(
+    model: StateSpace,
+    horizon: int,
+    input_index: int = 0,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Open-loop unit-step response of a discrete model.
+
+    Returns an array of shape ``(horizon + 1, n_outputs)`` with the output at
+    samples ``0..horizon`` when input ``input_index`` is held at 1.
+    """
+    _require_discrete(model, "step_response")
+    horizon = int(check_positive("horizon", horizon))
+    if not 0 <= input_index < model.n_inputs:
+        raise ValidationError(
+            f"input_index must be in [0, {model.n_inputs}), got {input_index}"
+        )
+    u = np.zeros(model.n_inputs)
+    u[input_index] = 1.0
+    x = np.zeros(model.n_states) if x0 is None else np.asarray(x0, dtype=float).reshape(-1)
+    outputs = np.zeros((horizon + 1, model.n_outputs))
+    for k in range(horizon + 1):
+        outputs[k] = model.output(x, u)
+        x = model.step_state(x, u)
+    return outputs
+
+
+def impulse_response(model: StateSpace, horizon: int, input_index: int = 0) -> np.ndarray:
+    """Open-loop unit-impulse response of a discrete model.
+
+    The impulse is applied at sample 0 only; returns shape
+    ``(horizon + 1, n_outputs)``.
+    """
+    _require_discrete(model, "impulse_response")
+    horizon = int(check_positive("horizon", horizon))
+    if not 0 <= input_index < model.n_inputs:
+        raise ValidationError(
+            f"input_index must be in [0, {model.n_inputs}), got {input_index}"
+        )
+    x = np.zeros(model.n_states)
+    outputs = np.zeros((horizon + 1, model.n_outputs))
+    for k in range(horizon + 1):
+        u = np.zeros(model.n_inputs)
+        if k == 0:
+            u[input_index] = 1.0
+        outputs[k] = model.output(x, u)
+        x = model.step_state(x, u)
+    return outputs
+
+
+def settling_time(
+    response: np.ndarray,
+    final_value: float | np.ndarray | None = None,
+    tolerance: float = 0.02,
+) -> int | None:
+    """Index after which ``response`` stays within ``tolerance`` of its final value.
+
+    Parameters
+    ----------
+    response:
+        Array of shape ``(T,)`` or ``(T, m)``.
+    final_value:
+        Reference value; defaults to the last sample.
+    tolerance:
+        Relative band (fraction of ``max(|final_value|, 1e-12)``).
+
+    Returns
+    -------
+    int or None
+        First index ``k`` such that every later sample stays inside the band,
+        or ``None`` if the response never settles.
+    """
+    response = np.asarray(response, dtype=float)
+    if response.ndim == 1:
+        response = response.reshape(-1, 1)
+    if final_value is None:
+        final = response[-1]
+    else:
+        final = np.broadcast_to(np.asarray(final_value, dtype=float), response.shape[1:]).copy()
+    scale = np.maximum(np.abs(final), 1e-12)
+    within = np.all(np.abs(response - final) <= tolerance * scale, axis=1)
+    # Find the first index from which all subsequent samples are within band.
+    for k in range(len(within)):
+        if np.all(within[k:]):
+            return k
+    return None
+
+
+def _require_discrete(model: StateSpace, what: str) -> None:
+    if not model.is_discrete:
+        raise ValidationError(f"{what} requires a discrete-time model; call discretize() first")

@@ -1,0 +1,146 @@
+"""Monitor abstractions and the affine-condition intermediate representation.
+
+A monitor is *satisfied* at a sampling instance when the measurement passes
+its sanity check; it is *violated* otherwise.  Alarms are a separate concept:
+plain monitors alarm on any violation, while a
+:class:`~repro.monitors.deadzone.DeadZoneMonitor` alarms only after a run of
+consecutive violations.
+
+To let the attack-synthesis backends reason about monitors without coupling
+them to a particular solver, every monitor can describe "satisfied at sample
+``k``" as a conjunction of :class:`LinearCondition` objects — affine
+inequalities over measurement symbols ``y[k][channel]``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class LinearCondition:
+    """An affine double inequality over measurement symbols.
+
+    Represents ``lower <= sum(coeff * y[sample][channel]) + constant <= upper``
+    where the sum ranges over ``terms``.  Either bound may be ``None``
+    (meaning unbounded on that side).
+
+    Attributes
+    ----------
+    terms:
+        Tuple of ``(sample_index, channel_index, coefficient)`` triples.
+        ``sample_index`` is 0-based within the analysis horizon.
+    constant:
+        Constant offset added to the linear combination.
+    lower, upper:
+        Optional bounds.
+    label:
+        Human-readable description used in reports and solver diagnostics.
+    """
+
+    terms: tuple[tuple[int, int, float], ...]
+    constant: float = 0.0
+    lower: float | None = None
+    upper: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lower is None and self.upper is None:
+            raise ValidationError("LinearCondition needs at least one bound")
+        if self.lower is not None and self.upper is not None and self.lower > self.upper:
+            raise ValidationError("LinearCondition lower bound exceeds upper bound")
+        terms = tuple((int(k), int(c), float(w)) for k, c, w in self.terms)
+        object.__setattr__(self, "terms", terms)
+
+    def evaluate(self, measurements: np.ndarray) -> bool:
+        """Check the condition on a concrete ``(T, m)`` measurement matrix."""
+        value = self.constant
+        for sample, channel, coefficient in self.terms:
+            value += coefficient * float(measurements[sample, channel])
+        if self.lower is not None and value < self.lower - 1e-12:
+            return False
+        if self.upper is not None and value > self.upper + 1e-12:
+            return False
+        return True
+
+    def value(self, measurements: np.ndarray) -> float:
+        """The affine expression's value on a concrete measurement matrix."""
+        value = self.constant
+        for sample, channel, coefficient in self.terms:
+            value += coefficient * float(measurements[sample, channel])
+        return value
+
+
+@dataclass
+class MonitorReport:
+    """Evaluation of a monitor over a whole trace.
+
+    Attributes
+    ----------
+    satisfied:
+        Boolean array, ``satisfied[k]`` True when the check passes at sample ``k``.
+    alarms:
+        Boolean array, ``alarms[k]`` True when the monitor raises an alarm at
+        sample ``k`` (dead-zone semantics applied where relevant).
+    name:
+        Monitor name.
+    details:
+        Free-form per-monitor diagnostics.
+    """
+
+    satisfied: np.ndarray
+    alarms: np.ndarray
+    name: str = ""
+    details: dict = field(default_factory=dict)
+
+    @property
+    def any_alarm(self) -> bool:
+        """True when at least one sample raised an alarm."""
+        return bool(np.any(self.alarms))
+
+    @property
+    def violation_count(self) -> int:
+        """Number of samples at which the underlying check failed."""
+        return int(np.sum(~self.satisfied))
+
+
+class Monitor(abc.ABC):
+    """Base class for measurement sanity monitors."""
+
+    name: str = "monitor"
+
+    @abc.abstractmethod
+    def satisfied(self, measurements: np.ndarray, dt: float) -> np.ndarray:
+        """Boolean array of per-sample check results on a ``(T, m)`` trace."""
+
+    @abc.abstractmethod
+    def conditions_at(self, k: int, dt: float) -> list[LinearCondition]:
+        """Affine conditions equivalent to "satisfied at sample ``k``".
+
+        Conditions may reference earlier samples (gradient monitors reference
+        ``k - 1``); for ``k == 0`` such monitors return an empty list, meaning
+        the check is vacuously satisfied at the first sample.
+        """
+
+    def alarms(self, measurements: np.ndarray, dt: float) -> np.ndarray:
+        """Per-sample alarm flags.  Plain monitors alarm on every violation."""
+        return ~self.satisfied(measurements, dt)
+
+    def report(self, measurements: np.ndarray, dt: float) -> MonitorReport:
+        """Full evaluation of the monitor on one trace."""
+        measurements = np.atleast_2d(np.asarray(measurements, dtype=float))
+        satisfied = self.satisfied(measurements, dt)
+        return MonitorReport(
+            satisfied=satisfied,
+            alarms=self.alarms(measurements, dt),
+            name=self.name,
+        )
+
+    def raises_alarm(self, measurements: np.ndarray, dt: float) -> bool:
+        """True when the monitor alarms anywhere on the trace."""
+        return bool(np.any(self.alarms(measurements, dt)))

@@ -1,0 +1,52 @@
+"""Gradient monitor: a sensor value must not change faster than a rate limit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitors.base import LinearCondition, Monitor
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class GradientMonitor(Monitor):
+    """Checks ``|y[k][channel] - y[k-1][channel]| / dt <= max_rate``.
+
+    The first sample has no predecessor, so the check is vacuously satisfied
+    there (matching how ECU gradient monitors initialise).
+
+    The paper's VSC limits: yaw-rate gradient 0.175 rad/s² and lateral
+    acceleration gradient 2 m/s³.
+    """
+
+    channel: int
+    max_rate: float
+    name: str = "gradient"
+
+    def __post_init__(self) -> None:
+        self.channel = int(self.channel)
+        self.max_rate = check_positive("max_rate", self.max_rate)
+
+    def satisfied(self, measurements: np.ndarray, dt: float) -> np.ndarray:
+        measurements = np.atleast_2d(np.asarray(measurements, dtype=float))
+        values = measurements[:, self.channel]
+        result = np.ones(values.shape[0], dtype=bool)
+        if values.shape[0] > 1:
+            rates = np.abs(np.diff(values)) / float(dt)
+            result[1:] = rates <= self.max_rate + 1e-12
+        return result
+
+    def conditions_at(self, k: int, dt: float) -> list[LinearCondition]:
+        if k == 0:
+            return []
+        bound = self.max_rate * float(dt)
+        return [
+            LinearCondition(
+                terms=((k, self.channel, 1.0), (k - 1, self.channel, -1.0)),
+                lower=-bound,
+                upper=bound,
+                label=f"{self.name}[y{self.channel}@k={k}]",
+            )
+        ]

@@ -1,0 +1,36 @@
+"""Batch noise-sequence generation for Monte-Carlo studies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noise.models import NoiseModel
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive
+
+
+def noise_matrix(model: NoiseModel, horizon: int, rng=None) -> np.ndarray:
+    """One ``(horizon, dimension)`` noise realisation from ``model``."""
+    horizon = int(check_positive("horizon", horizon))
+    return model.sample(horizon, ensure_rng(rng))
+
+
+def noise_vector_batch(
+    model: NoiseModel,
+    horizon: int,
+    count: int,
+    seed=None,
+) -> np.ndarray:
+    """Draw ``count`` independent noise realisations.
+
+    Returns an array of shape ``(count, horizon, dimension)``; each
+    realisation uses an independent child RNG so the batch is reproducible
+    and order-independent.
+    """
+    horizon = int(check_positive("horizon", horizon))
+    count = int(check_positive("count", count))
+    rngs = spawn_rngs(seed, count)
+    batch = np.zeros((count, horizon, model.dimension))
+    for index, child in enumerate(rngs):
+        batch[index] = model.sample(horizon, child)
+    return batch

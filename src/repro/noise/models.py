@@ -1,0 +1,127 @@
+"""Stochastic noise models with a common sampling interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import ValidationError, check_symmetric
+
+
+class NoiseModel(abc.ABC):
+    """Abstract per-sample noise model over a fixed-dimension vector."""
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Dimension of each sample."""
+
+    @abc.abstractmethod
+    def sample(self, horizon: int, rng=None) -> np.ndarray:
+        """Draw a ``(horizon, dimension)`` block of noise samples."""
+
+    def sample_one(self, rng=None) -> np.ndarray:
+        """Draw a single sample (length ``dimension``)."""
+        return self.sample(1, rng)[0]
+
+
+@dataclass(frozen=True)
+class ZeroNoise(NoiseModel):
+    """Deterministic zero noise (placeholder for noiseless channels)."""
+
+    size: int
+
+    @property
+    def dimension(self) -> int:
+        return self.size
+
+    def sample(self, horizon: int, rng=None) -> np.ndarray:
+        return np.zeros((int(horizon), self.size))
+
+
+@dataclass(frozen=True)
+class GaussianNoise(NoiseModel):
+    """Zero-mean multivariate Gaussian noise with covariance ``covariance``."""
+
+    covariance: np.ndarray
+
+    def __post_init__(self) -> None:
+        covariance = check_symmetric("covariance", self.covariance)
+        object.__setattr__(self, "covariance", covariance)
+
+    @property
+    def dimension(self) -> int:
+        return self.covariance.shape[0]
+
+    def sample(self, horizon: int, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        return rng.multivariate_normal(
+            np.zeros(self.dimension), self.covariance, size=int(horizon)
+        )
+
+    @classmethod
+    def from_std(cls, std) -> "GaussianNoise":
+        """Build from per-channel standard deviations (diagonal covariance)."""
+        std = np.asarray(std, dtype=float).reshape(-1)
+        return cls(covariance=np.diag(std**2))
+
+
+@dataclass(frozen=True)
+class BoundedUniformNoise(NoiseModel):
+    """Uniform noise on ``[-bound_i, +bound_i]`` per channel.
+
+    This is the model used for the paper's FAR experiment: "each value sampled
+    from a suitably small range such that pfc is maintained".
+    """
+
+    bounds: np.ndarray
+
+    def __post_init__(self) -> None:
+        bounds = np.asarray(self.bounds, dtype=float).reshape(-1)
+        if np.any(bounds < 0):
+            raise ValidationError("bounds must be non-negative")
+        object.__setattr__(self, "bounds", bounds)
+
+    @property
+    def dimension(self) -> int:
+        return self.bounds.size
+
+    def sample(self, horizon: int, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        uniform = rng.uniform(-1.0, 1.0, size=(int(horizon), self.dimension))
+        return uniform * self.bounds
+
+
+@dataclass(frozen=True)
+class TruncatedGaussianNoise(NoiseModel):
+    """Diagonal Gaussian noise clipped to ``[-bound_i, +bound_i]`` per channel.
+
+    Keeps the Gaussian shape of realistic sensor noise while providing the
+    hard bound that formal encodings need (the solver assumes noise never
+    exceeds the bound).
+    """
+
+    std: np.ndarray
+    bounds: np.ndarray
+
+    def __post_init__(self) -> None:
+        std = np.asarray(self.std, dtype=float).reshape(-1)
+        bounds = np.asarray(self.bounds, dtype=float).reshape(-1)
+        if std.size != bounds.size:
+            raise ValidationError("std and bounds must have the same length")
+        if np.any(std < 0) or np.any(bounds < 0):
+            raise ValidationError("std and bounds must be non-negative")
+        object.__setattr__(self, "std", std)
+        object.__setattr__(self, "bounds", bounds)
+
+    @property
+    def dimension(self) -> int:
+        return self.std.size
+
+    def sample(self, horizon: int, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        raw = rng.normal(0.0, 1.0, size=(int(horizon), self.dimension)) * self.std
+        return np.clip(raw, -self.bounds, self.bounds)

@@ -1,0 +1,67 @@
+"""A small SMT solver for quantifier-free linear real arithmetic (QF-LRA).
+
+The paper discharges its attack-synthesis queries to Z3; that solver is not
+available in this environment, so this package provides a from-scratch
+substitute sufficient for the fragment the encodings actually use:
+
+* :mod:`repro.smt.linear` — linear expressions over named real variables,
+* :mod:`repro.smt.expr` — Boolean formulas whose atoms are linear
+  (non-strict or strict) inequalities,
+* :mod:`repro.smt.cnf` — Tseitin conversion to CNF,
+* :mod:`repro.smt.simplex` — a general-simplex feasibility checker with
+  delta-rational handling of strict inequalities (Dutertre & de Moura),
+* :mod:`repro.smt.dpll` — a DPLL(T) search loop combining the SAT core with
+  the simplex theory solver,
+* :mod:`repro.smt.solver` — the user-facing :class:`Solver` facade with
+  ``add`` / ``check`` / ``model``.
+"""
+
+from repro.smt.linear import LinearExpr, RealVar
+from repro.smt.expr import (
+    Formula,
+    Atom,
+    BoolVar,
+    BoolConst,
+    Not,
+    And,
+    Or,
+    Implies,
+    TRUE,
+    FALSE,
+    le,
+    lt,
+    ge,
+    gt,
+    eq,
+    between,
+)
+from repro.smt.simplex import SimplexSolver, LinearConstraint, DeltaNumber
+from repro.smt.solver import Solver, SolverResult
+from repro.utils.results import SolveStatus
+
+__all__ = [
+    "LinearExpr",
+    "RealVar",
+    "Formula",
+    "Atom",
+    "BoolVar",
+    "BoolConst",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "TRUE",
+    "FALSE",
+    "le",
+    "lt",
+    "ge",
+    "gt",
+    "eq",
+    "between",
+    "SimplexSolver",
+    "LinearConstraint",
+    "DeltaNumber",
+    "Solver",
+    "SolverResult",
+    "SolveStatus",
+]

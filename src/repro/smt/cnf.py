@@ -1,0 +1,165 @@
+"""Tseitin conversion of formulas to CNF.
+
+The converter assigns a propositional variable to every arithmetic atom and
+to every internal connective node, producing an equisatisfiable CNF over
+integer literals (positive integer = variable asserted true, negative =
+false).  The mapping from propositional variables back to arithmetic atoms is
+returned so the DPLL(T) loop can hand asserted atoms to the theory solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smt.expr import (
+    And,
+    Atom,
+    BoolConst,
+    BoolVar,
+    Formula,
+    Implies,
+    Not,
+    Or,
+)
+from repro.utils.validation import ValidationError
+
+Clause = tuple[int, ...]
+
+
+@dataclass
+class CNF:
+    """A CNF instance produced by Tseitin conversion.
+
+    Attributes
+    ----------
+    clauses:
+        List of clauses; each clause is a tuple of non-zero integer literals.
+    atom_of_variable:
+        Maps a propositional variable index to the arithmetic
+        :class:`~repro.smt.expr.Atom` it represents (absent for auxiliary
+        Tseitin variables and free Boolean variables).
+    bool_name_of_variable:
+        Maps a propositional variable index to the name of the free Boolean
+        variable it represents, when applicable.
+    variable_count:
+        Total number of propositional variables allocated.
+    """
+
+    clauses: list[Clause] = field(default_factory=list)
+    atom_of_variable: dict[int, Atom] = field(default_factory=dict)
+    bool_name_of_variable: dict[int, str] = field(default_factory=dict)
+    variable_count: int = 0
+
+    def theory_variables(self) -> list[int]:
+        """Propositional variables backed by arithmetic atoms."""
+        return sorted(self.atom_of_variable)
+
+
+class TseitinConverter:
+    """Stateful converter accumulating clauses for a conjunction of formulas."""
+
+    def __init__(self) -> None:
+        self._cnf = CNF()
+        self._atom_cache: dict[tuple, int] = {}
+        self._bool_cache: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _new_variable(self) -> int:
+        self._cnf.variable_count += 1
+        return self._cnf.variable_count
+
+    def _variable_for_atom(self, atom: Atom) -> int:
+        key = atom.key()
+        if key in self._atom_cache:
+            return self._atom_cache[key]
+        negated_key = atom.negated().key()
+        if negated_key in self._atom_cache:
+            # Reuse the complementary atom's variable with opposite phase by
+            # registering this atom as its own variable anyway: sharing phases
+            # across complementary atoms would complicate the theory mapping,
+            # so we simply allocate a fresh variable (the theory solver keeps
+            # them consistent).
+            pass
+        variable = self._new_variable()
+        self._atom_cache[key] = variable
+        self._cnf.atom_of_variable[variable] = atom
+        return variable
+
+    def _variable_for_bool(self, name: str) -> int:
+        if name in self._bool_cache:
+            return self._bool_cache[name]
+        variable = self._new_variable()
+        self._bool_cache[name] = variable
+        self._cnf.bool_name_of_variable[variable] = name
+        return variable
+
+    # ------------------------------------------------------------------
+    def _encode(self, formula: Formula) -> int:
+        """Return a literal equivalent to ``formula`` (adding defining clauses)."""
+        if isinstance(formula, Atom):
+            return self._variable_for_atom(formula)
+        if isinstance(formula, BoolVar):
+            return self._variable_for_bool(formula.name)
+        if isinstance(formula, BoolConst):
+            variable = self._new_variable()
+            self._cnf.clauses.append((variable,) if formula.value else (-variable,))
+            return variable
+        if isinstance(formula, Not):
+            return -self._encode(formula.operand)
+        if isinstance(formula, Implies):
+            return self._encode(Or(Not(formula.antecedent), formula.consequent))
+        if isinstance(formula, And):
+            if not formula.operands:
+                return self._encode(BoolConst(True))
+            literals = [self._encode(op) for op in formula.operands]
+            output = self._new_variable()
+            # output -> each literal
+            for literal in literals:
+                self._cnf.clauses.append((-output, literal))
+            # all literals -> output
+            self._cnf.clauses.append(tuple(-lit for lit in literals) + (output,))
+            return output
+        if isinstance(formula, Or):
+            if not formula.operands:
+                return self._encode(BoolConst(False))
+            literals = [self._encode(op) for op in formula.operands]
+            output = self._new_variable()
+            # each literal -> output
+            for literal in literals:
+                self._cnf.clauses.append((-literal, output))
+            # output -> some literal
+            self._cnf.clauses.append((-output,) + tuple(literals))
+            return output
+        raise ValidationError(f"cannot convert {type(formula).__name__} to CNF")
+
+    # ------------------------------------------------------------------
+    def assert_formula(self, formula: Formula) -> None:
+        """Add ``formula`` as a top-level assertion.
+
+        Top-level conjunctions are split so that their conjuncts become unit
+        assertions directly (keeps the CNF small and propagation strong).
+        """
+        if isinstance(formula, And):
+            for operand in formula.operands:
+                self.assert_formula(operand)
+            return
+        if isinstance(formula, BoolConst):
+            if formula.value:
+                return
+            # Assert falsity: add the empty clause.
+            self._cnf.clauses.append(())
+            return
+        literal = self._encode(formula)
+        self._cnf.clauses.append((literal,))
+
+    def result(self) -> CNF:
+        """The accumulated CNF instance."""
+        return self._cnf
+
+
+def to_cnf(formulas) -> CNF:
+    """Convert an iterable of assertions to a single CNF instance."""
+    converter = TseitinConverter()
+    for formula in formulas:
+        converter.assert_formula(formula)
+    return converter.result()

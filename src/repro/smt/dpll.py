@@ -1,0 +1,222 @@
+"""DPLL(T) search loop.
+
+A deliberately compact SAT search (unit propagation + chronological
+backtracking over decisions) combined with the simplex theory solver: every
+time propagation completes, the conjunction of currently asserted arithmetic
+atoms is checked for feasibility, pruning theory-inconsistent branches early.
+
+The encodings produced by the attack-synthesis module are conjunction-heavy
+with only a handful of disjunctions, so this lightweight search is adequate;
+it is nevertheless a complete decision procedure for QF-LRA formulas produced
+by :mod:`repro.smt.cnf`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.smt.cnf import CNF
+from repro.smt.simplex import LinearConstraint, SimplexSolver
+from repro.utils.results import SolveStatus
+
+
+@dataclass
+class DPLLResult:
+    """Outcome of a DPLL(T) run."""
+
+    status: SolveStatus
+    bool_assignment: dict[int, bool] = field(default_factory=dict)
+    theory_model: dict[str, float] = field(default_factory=dict)
+    decisions: int = 0
+    propagations: int = 0
+    theory_checks: int = 0
+    elapsed: float = 0.0
+
+
+class DPLLSolver:
+    """DPLL(T) over a CNF instance with arithmetic atoms."""
+
+    def __init__(
+        self,
+        cnf: CNF,
+        theory_check: str = "eager",
+        time_budget: float | None = None,
+        max_decisions: int = 1_000_000,
+    ):
+        """
+        Parameters
+        ----------
+        cnf:
+            The CNF instance (with the atom map) to solve.
+        theory_check:
+            ``"eager"`` checks the theory after every completed propagation;
+            ``"lazy"`` only at complete propositional assignments.
+        time_budget:
+            Optional wall-clock budget in seconds; exceeding it returns
+            ``UNKNOWN`` (mirrors the per-call SMT timeout in the paper).
+        max_decisions:
+            Hard cap on the number of decisions (safety net).
+        """
+        self.cnf = cnf
+        self.theory_check = theory_check
+        self.time_budget = time_budget
+        self.max_decisions = int(max_decisions)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> DPLLResult:
+        """Run the search to completion (or budget exhaustion)."""
+        start = time.monotonic()
+        clauses = [tuple(clause) for clause in self.cnf.clauses]
+        if any(len(clause) == 0 for clause in clauses):
+            return DPLLResult(status=SolveStatus.UNSAT, elapsed=time.monotonic() - start)
+
+        n_vars = self.cnf.variable_count
+        assignment: dict[int, bool] = {}
+        # Trail entries: (variable, value, is_decision)
+        trail: list[tuple[int, bool, bool]] = []
+        decisions = 0
+        propagations = 0
+        theory_checks = 0
+        last_theory_model: dict[str, float] = {}
+
+        def value_of(literal: int) -> bool | None:
+            variable = abs(literal)
+            if variable not in assignment:
+                return None
+            value = assignment[variable]
+            return value if literal > 0 else not value
+
+        def assign(literal: int, is_decision: bool) -> None:
+            variable = abs(literal)
+            assignment[variable] = literal > 0
+            trail.append((variable, literal > 0, is_decision))
+
+        def unit_propagate() -> bool:
+            """Propagate until fixpoint; False on propositional conflict."""
+            nonlocal propagations
+            changed = True
+            while changed:
+                changed = False
+                for clause in clauses:
+                    unassigned_literal = None
+                    unassigned_count = 0
+                    satisfied = False
+                    for literal in clause:
+                        value = value_of(literal)
+                        if value is True:
+                            satisfied = True
+                            break
+                        if value is None:
+                            unassigned_count += 1
+                            unassigned_literal = literal
+                    if satisfied:
+                        continue
+                    if unassigned_count == 0:
+                        return False
+                    if unassigned_count == 1:
+                        assign(unassigned_literal, is_decision=False)
+                        propagations += 1
+                        changed = True
+            return True
+
+        def asserted_theory_constraints() -> list[LinearConstraint]:
+            constraints = []
+            for variable, atom in self.cnf.atom_of_variable.items():
+                if variable not in assignment:
+                    continue
+                asserted_atom = atom if assignment[variable] else atom.negated()
+                constraints.append(
+                    LinearConstraint(
+                        expression=asserted_atom.expression,
+                        strict=asserted_atom.strict,
+                        label=f"atom_{variable}",
+                    )
+                )
+            return constraints
+
+        def theory_feasible() -> tuple[bool, dict[str, float]]:
+            nonlocal theory_checks
+            theory_checks += 1
+            simplex = SimplexSolver()
+            for constraint in asserted_theory_constraints():
+                simplex.add_constraint(constraint)
+            result = simplex.check()
+            return result.feasible, (result.model or {})
+
+        def backtrack() -> bool:
+            """Undo up to (and including) the most recent untried decision; flip it.
+
+            Returns False when no decision remains (search exhausted).
+            """
+            while trail:
+                variable, value, is_decision = trail.pop()
+                del assignment[variable]
+                if is_decision:
+                    # Re-assert the flipped value as a non-decision (it has no
+                    # alternative left).
+                    assign(-variable if value else variable, is_decision=False)
+                    return True
+            return False
+
+        # ------------------------------------------------------------------
+        while True:
+            if self.time_budget is not None and time.monotonic() - start > self.time_budget:
+                return DPLLResult(
+                    status=SolveStatus.UNKNOWN,
+                    decisions=decisions,
+                    propagations=propagations,
+                    theory_checks=theory_checks,
+                    elapsed=time.monotonic() - start,
+                )
+
+            if not unit_propagate():
+                if not backtrack():
+                    return DPLLResult(
+                        status=SolveStatus.UNSAT,
+                        decisions=decisions,
+                        propagations=propagations,
+                        theory_checks=theory_checks,
+                        elapsed=time.monotonic() - start,
+                    )
+                continue
+
+            if self.theory_check == "eager" or len(assignment) == n_vars:
+                feasible, model = theory_feasible()
+                if not feasible:
+                    if not backtrack():
+                        return DPLLResult(
+                            status=SolveStatus.UNSAT,
+                            decisions=decisions,
+                            propagations=propagations,
+                            theory_checks=theory_checks,
+                            elapsed=time.monotonic() - start,
+                        )
+                    continue
+                last_theory_model = model
+
+            if len(assignment) == n_vars:
+                return DPLLResult(
+                    status=SolveStatus.SAT,
+                    bool_assignment=dict(assignment),
+                    theory_model=last_theory_model,
+                    decisions=decisions,
+                    propagations=propagations,
+                    theory_checks=theory_checks,
+                    elapsed=time.monotonic() - start,
+                )
+
+            # Decide: pick the lowest-index unassigned variable, prefer True.
+            decisions += 1
+            if decisions > self.max_decisions:
+                return DPLLResult(
+                    status=SolveStatus.UNKNOWN,
+                    decisions=decisions,
+                    propagations=propagations,
+                    theory_checks=theory_checks,
+                    elapsed=time.monotonic() - start,
+                )
+            for variable in range(1, n_vars + 1):
+                if variable not in assignment:
+                    assign(variable, is_decision=True)
+                    break

@@ -1,0 +1,264 @@
+"""Boolean formulas over linear-arithmetic atoms.
+
+Atoms are canonicalised to one of two forms:
+
+* ``expr <= 0``  (non-strict), or
+* ``expr < 0``   (strict),
+
+where ``expr`` is a :class:`~repro.smt.linear.LinearExpr`.  Equalities are
+expanded into the conjunction of two non-strict atoms at construction time so
+that the negation of every atom is again a single atom — a property the
+DPLL(T) loop relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smt.linear import LinearExpr
+from repro.utils.validation import ValidationError
+
+
+class Formula:
+    """Base class of all Boolean formula nodes."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """Material implication ``self -> other``."""
+        return Implies(self, other)
+
+    # Subclasses override.
+    def evaluate(self, real_assignment: dict[str, float], bool_assignment: dict[str, bool] | None = None) -> bool:
+        """Evaluate under a concrete assignment of reals (and Booleans)."""
+        raise NotImplementedError
+
+    def atoms(self) -> list["Atom"]:
+        """All arithmetic atoms appearing in the formula (with repetition removed)."""
+        seen: dict[tuple, Atom] = {}
+        self._collect_atoms(seen)
+        return list(seen.values())
+
+    def bool_vars(self) -> set[str]:
+        """Names of free Boolean variables."""
+        names: set[str] = set()
+        self._collect_bools(names)
+        return names
+
+    def real_vars(self) -> set[str]:
+        """Names of real variables appearing in any atom."""
+        names: set[str] = set()
+        for atom in self.atoms():
+            names |= atom.expression.variables()
+        return names
+
+    def _collect_atoms(self, seen: dict) -> None:
+        raise NotImplementedError
+
+    def _collect_bools(self, names: set[str]) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A linear inequality atom ``expression <= 0`` or ``expression < 0``."""
+
+    expression: LinearExpr
+    strict: bool = False
+
+    def negated(self) -> "Atom":
+        """The complementary atom.
+
+        ``not (e <= 0)`` is ``-e < 0`` and ``not (e < 0)`` is ``-e <= 0``.
+        """
+        return Atom(expression=-self.expression, strict=not self.strict)
+
+    def evaluate(self, real_assignment, bool_assignment=None) -> bool:
+        value = self.expression.evaluate(real_assignment)
+        return value < 0.0 if self.strict else value <= 1e-12
+
+    def key(self) -> tuple:
+        """Canonical hashable identity used for deduplication."""
+        return (self.expression.canonical_key(), self.strict)
+
+    def _collect_atoms(self, seen: dict) -> None:
+        seen.setdefault(self.key(), self)
+
+    def _collect_bools(self, names: set[str]) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        op = "<" if self.strict else "<="
+        return f"({self.expression!r} {op} 0)"
+
+
+@dataclass(frozen=True)
+class BoolVar(Formula):
+    """A free Boolean variable."""
+
+    name: str
+
+    def evaluate(self, real_assignment, bool_assignment=None) -> bool:
+        if not bool_assignment or self.name not in bool_assignment:
+            raise ValidationError(f"no value for Boolean variable {self.name!r}")
+        return bool(bool_assignment[self.name])
+
+    def _collect_atoms(self, seen: dict) -> None:
+        return None
+
+    def _collect_bools(self, names: set[str]) -> None:
+        names.add(self.name)
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    """The constants True / False."""
+
+    value: bool
+
+    def evaluate(self, real_assignment, bool_assignment=None) -> bool:
+        return self.value
+
+    def _collect_atoms(self, seen: dict) -> None:
+        return None
+
+    def _collect_bools(self, names: set[str]) -> None:
+        return None
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Logical negation."""
+
+    operand: Formula
+
+    def evaluate(self, real_assignment, bool_assignment=None) -> bool:
+        return not self.operand.evaluate(real_assignment, bool_assignment)
+
+    def _collect_atoms(self, seen: dict) -> None:
+        self.operand._collect_atoms(seen)
+
+    def _collect_bools(self, names: set[str]) -> None:
+        self.operand._collect_bools(names)
+
+
+class _NaryFormula(Formula):
+    """Shared machinery of And/Or (flattening n-ary connectives)."""
+
+    def __init__(self, *operands: Formula):
+        flattened: list[Formula] = []
+        for operand in operands:
+            if operand is None:
+                continue
+            if isinstance(operand, type(self)):
+                flattened.extend(operand.operands)
+            elif isinstance(operand, Formula):
+                flattened.append(operand)
+            else:
+                raise ValidationError(f"{operand!r} is not a Formula")
+        self.operands: tuple[Formula, ...] = tuple(flattened)
+
+    def _collect_atoms(self, seen: dict) -> None:
+        for operand in self.operands:
+            operand._collect_atoms(seen)
+
+    def _collect_bools(self, names: set[str]) -> None:
+        for operand in self.operands:
+            operand._collect_bools(names)
+
+
+class And(_NaryFormula):
+    """N-ary conjunction (empty conjunction is True)."""
+
+    def evaluate(self, real_assignment, bool_assignment=None) -> bool:
+        return all(op.evaluate(real_assignment, bool_assignment) for op in self.operands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "And(" + ", ".join(repr(op) for op in self.operands) + ")"
+
+
+class Or(_NaryFormula):
+    """N-ary disjunction (empty disjunction is False)."""
+
+    def evaluate(self, real_assignment, bool_assignment=None) -> bool:
+        return any(op.evaluate(real_assignment, bool_assignment) for op in self.operands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Or(" + ", ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Material implication ``antecedent -> consequent``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def evaluate(self, real_assignment, bool_assignment=None) -> bool:
+        if not self.antecedent.evaluate(real_assignment, bool_assignment):
+            return True
+        return self.consequent.evaluate(real_assignment, bool_assignment)
+
+    def _collect_atoms(self, seen: dict) -> None:
+        self.antecedent._collect_atoms(seen)
+        self.consequent._collect_atoms(seen)
+
+    def _collect_bools(self, names: set[str]) -> None:
+        self.antecedent._collect_bools(names)
+        self.consequent._collect_bools(names)
+
+
+# ----------------------------------------------------------------------
+# Atom constructors
+# ----------------------------------------------------------------------
+def le(left, right) -> Atom:
+    """The atom ``left <= right``."""
+    expression = LinearExpr.coerce(left) - LinearExpr.coerce(right)
+    return Atom(expression=expression, strict=False)
+
+
+def lt(left, right) -> Atom:
+    """The atom ``left < right``."""
+    expression = LinearExpr.coerce(left) - LinearExpr.coerce(right)
+    return Atom(expression=expression, strict=True)
+
+
+def ge(left, right) -> Atom:
+    """The atom ``left >= right`` (canonicalised as ``right - left <= 0``)."""
+    return le(right, left)
+
+
+def gt(left, right) -> Atom:
+    """The atom ``left > right`` (canonicalised as ``right - left < 0``)."""
+    return lt(right, left)
+
+
+def eq(left, right) -> Formula:
+    """Equality, expanded to ``left <= right AND right <= left``."""
+    return And(le(left, right), le(right, left))
+
+
+def between(expression, lower: float | None, upper: float | None, strict: bool = False) -> Formula:
+    """``lower <= expression <= upper`` with optional one-sided bounds.
+
+    With ``strict=True`` the comparisons become strict.
+    """
+    if lower is None and upper is None:
+        raise ValidationError("between() needs at least one bound")
+    parts: list[Formula] = []
+    if lower is not None:
+        parts.append(gt(expression, lower) if strict else ge(expression, lower))
+    if upper is not None:
+        parts.append(lt(expression, upper) if strict else le(expression, upper))
+    return And(*parts) if len(parts) > 1 else parts[0]

@@ -1,0 +1,207 @@
+"""Linear expressions over named real variables.
+
+The solver works with the quantifier-free linear real arithmetic fragment, so
+arithmetic is kept canonical from the start: every expression is a
+:class:`LinearExpr` — a mapping from variable names to coefficients plus a
+constant.  :class:`RealVar` is a lightweight handle that builds such
+expressions through the usual Python operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError
+
+
+class LinearExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    Instances are immutable; all operators return new expressions.
+    Coefficients with magnitude below ``1e-15`` are dropped to keep the
+    representation canonical.
+    """
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(self, coefficients: dict[str, float] | None = None, constant: float = 0.0):
+        cleaned: dict[str, float] = {}
+        if coefficients:
+            for name, value in coefficients.items():
+                value = float(value)
+                if abs(value) > 1e-15:
+                    cleaned[str(name)] = value
+        self.coefficients = cleaned
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_constant(cls, value: float) -> "LinearExpr":
+        """The constant expression ``value``."""
+        return cls({}, float(value))
+
+    @classmethod
+    def from_variable(cls, name: str, coefficient: float = 1.0) -> "LinearExpr":
+        """The expression ``coefficient * name``."""
+        return cls({str(name): float(coefficient)}, 0.0)
+
+    @classmethod
+    def coerce(cls, value) -> "LinearExpr":
+        """Coerce a number, :class:`RealVar` or :class:`LinearExpr` to a LinearExpr."""
+        if isinstance(value, LinearExpr):
+            return value
+        if isinstance(value, RealVar):
+            return cls.from_variable(value.name)
+        if isinstance(value, (int, float)):
+            return cls.from_constant(float(value))
+        raise ValidationError(f"cannot interpret {value!r} as a linear expression")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """True when no variable appears."""
+        return not self.coefficients
+
+    def variables(self) -> set[str]:
+        """Names of the variables appearing with non-zero coefficient."""
+        return set(self.coefficients)
+
+    def coefficient(self, name: str) -> float:
+        """Coefficient of ``name`` (0.0 when absent)."""
+        return self.coefficients.get(str(name), 0.0)
+
+    def evaluate(self, assignment: dict[str, float]) -> float:
+        """Value of the expression under a complete variable assignment."""
+        total = self.constant
+        for name, coefficient in self.coefficients.items():
+            if name not in assignment:
+                raise ValidationError(f"assignment is missing variable {name!r}")
+            total += coefficient * float(assignment[name])
+        return total
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "LinearExpr":
+        other = LinearExpr.coerce(other)
+        coefficients = dict(self.coefficients)
+        for name, value in other.coefficients.items():
+            coefficients[name] = coefficients.get(name, 0.0) + value
+        return LinearExpr(coefficients, self.constant + other.constant)
+
+    def __radd__(self, other) -> "LinearExpr":
+        return self.__add__(other)
+
+    def __neg__(self) -> "LinearExpr":
+        return LinearExpr(
+            {name: -value for name, value in self.coefficients.items()}, -self.constant
+        )
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self.__add__(-LinearExpr.coerce(other))
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return LinearExpr.coerce(other).__sub__(self)
+
+    def __mul__(self, scalar) -> "LinearExpr":
+        if not isinstance(scalar, (int, float)):
+            raise ValidationError("LinearExpr can only be multiplied by a scalar")
+        scalar = float(scalar)
+        return LinearExpr(
+            {name: value * scalar for name, value in self.coefficients.items()},
+            self.constant * scalar,
+        )
+
+    def __rmul__(self, scalar) -> "LinearExpr":
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar) -> "LinearExpr":
+        if not isinstance(scalar, (int, float)) or scalar == 0:
+            raise ValidationError("LinearExpr can only be divided by a non-zero scalar")
+        return self.__mul__(1.0 / float(scalar))
+
+    # ------------------------------------------------------------------
+    # comparisons build atoms lazily (import inside to avoid cycles)
+    # ------------------------------------------------------------------
+    def __le__(self, other):
+        from repro.smt.expr import le
+
+        return le(self, other)
+
+    def __lt__(self, other):
+        from repro.smt.expr import lt
+
+        return lt(self, other)
+
+    def __ge__(self, other):
+        from repro.smt.expr import ge
+
+        return ge(self, other)
+
+    def __gt__(self, other):
+        from repro.smt.expr import gt
+
+        return gt(self, other)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{value:+g}*{name}" for name, value in sorted(self.coefficients.items())]
+        parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+    def canonical_key(self) -> tuple:
+        """Hashable canonical form used for atom deduplication."""
+        items = tuple(sorted((name, round(value, 12)) for name, value in self.coefficients.items()))
+        return items, round(self.constant, 12)
+
+
+@dataclass(frozen=True)
+class RealVar:
+    """A named real-valued SMT variable."""
+
+    name: str
+
+    def to_linear(self) -> LinearExpr:
+        """The expression ``1.0 * self``."""
+        return LinearExpr.from_variable(self.name)
+
+    # arithmetic delegates to LinearExpr
+    def __add__(self, other):
+        return self.to_linear() + other
+
+    def __radd__(self, other):
+        return self.to_linear() + other
+
+    def __sub__(self, other):
+        return self.to_linear() - other
+
+    def __rsub__(self, other):
+        return LinearExpr.coerce(other) - self.to_linear()
+
+    def __neg__(self):
+        return -self.to_linear()
+
+    def __mul__(self, scalar):
+        return self.to_linear() * scalar
+
+    def __rmul__(self, scalar):
+        return self.to_linear() * scalar
+
+    def __truediv__(self, scalar):
+        return self.to_linear() / scalar
+
+    def __le__(self, other):
+        return self.to_linear() <= other
+
+    def __lt__(self, other):
+        return self.to_linear() < other
+
+    def __ge__(self, other):
+        return self.to_linear() >= other
+
+    def __gt__(self, other):
+        return self.to_linear() > other

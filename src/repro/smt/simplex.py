@@ -1,0 +1,348 @@
+"""General simplex for linear real arithmetic feasibility.
+
+Implements the procedure of Dutertre & de Moura ("A fast linear-arithmetic
+solver for DPLL(T)", CAV 2006) restricted to what the DPLL(T) loop needs: a
+one-shot feasibility check of a conjunction of (possibly strict) linear
+inequalities, returning either a satisfying assignment or infeasibility.
+
+Strict inequalities are handled with *delta numbers* ``a + b·δ`` where δ is a
+symbolic infinitesimal: ``x < c`` becomes ``x <= c - δ``.  After a feasible
+tableau is found, a concrete positive value for δ is chosen small enough that
+all original strict constraints hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smt.linear import LinearExpr
+from repro.utils.validation import ValidationError
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class DeltaNumber:
+    """A number of the form ``real + delta_coefficient * δ`` with δ infinitesimal."""
+
+    real: float
+    delta: float = 0.0
+
+    def __add__(self, other: "DeltaNumber") -> "DeltaNumber":
+        return DeltaNumber(self.real + other.real, self.delta + other.delta)
+
+    def __sub__(self, other: "DeltaNumber") -> "DeltaNumber":
+        return DeltaNumber(self.real - other.real, self.delta - other.delta)
+
+    def scale(self, factor: float) -> "DeltaNumber":
+        """Multiply by a real scalar."""
+        return DeltaNumber(self.real * factor, self.delta * factor)
+
+    def less_than(self, other: "DeltaNumber", tol: float = _EPSILON) -> bool:
+        """Lexicographic strict comparison with a small real-part tolerance."""
+        if self.real < other.real - tol:
+            return True
+        if self.real > other.real + tol:
+            return False
+        return self.delta < other.delta - tol
+
+    def greater_than(self, other: "DeltaNumber", tol: float = _EPSILON) -> bool:
+        return other.less_than(self, tol)
+
+    def concretise(self, epsilon: float) -> float:
+        """Replace δ by the concrete positive value ``epsilon``."""
+        return self.real + self.delta * epsilon
+
+    @classmethod
+    def of(cls, real: float, strict_upper: bool = False, strict_lower: bool = False) -> "DeltaNumber":
+        """Bound constructor: ``x <= real`` / ``x < real`` / ``x >= real`` / ``x > real``."""
+        if strict_upper:
+            return cls(real, -1.0)
+        if strict_lower:
+            return cls(real, 1.0)
+        return cls(real, 0.0)
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A constraint ``expression <= 0`` (or ``< 0`` when strict)."""
+
+    expression: LinearExpr
+    strict: bool = False
+    label: str = ""
+
+    def holds(self, assignment: dict[str, float], tol: float = 1e-7) -> bool:
+        """Check the constraint on a concrete assignment."""
+        value = self.expression.evaluate(assignment)
+        return value < -0.0 if self.strict else value <= tol
+
+    def margin(self, assignment: dict[str, float]) -> float:
+        """Slack ``-expression`` (positive when strictly satisfied)."""
+        return -self.expression.evaluate(assignment)
+
+
+@dataclass
+class SimplexResult:
+    """Outcome of one feasibility check."""
+
+    feasible: bool
+    model: dict[str, float] | None = None
+    conflict: list[str] = field(default_factory=list)
+    iterations: int = 0
+
+
+class SimplexSolver:
+    """One-shot feasibility checker for conjunctions of linear constraints."""
+
+    def __init__(self, max_iterations: int = 100_000):
+        self.max_iterations = int(max_iterations)
+        self._constraints: list[LinearConstraint] = []
+
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint: LinearConstraint) -> None:
+        """Add one constraint to the conjunction."""
+        self._constraints.append(constraint)
+
+    def add_expression(self, expression: LinearExpr, strict: bool = False, label: str = "") -> None:
+        """Convenience wrapper building the :class:`LinearConstraint` in place."""
+        self.add_constraint(LinearConstraint(expression=expression, strict=strict, label=label))
+
+    def clear(self) -> None:
+        """Remove all constraints."""
+        self._constraints = []
+
+    @property
+    def constraints(self) -> list[LinearConstraint]:
+        """The current conjunction (read-only view)."""
+        return list(self._constraints)
+
+    # ------------------------------------------------------------------
+    def check(self) -> SimplexResult:
+        """Decide feasibility of the current conjunction.
+
+        Returns a :class:`SimplexResult`; when feasible, ``model`` maps every
+        variable appearing in the constraints to a satisfying real value.
+        """
+        variables: list[str] = sorted(
+            {name for constraint in self._constraints for name in constraint.expression.variables()}
+        )
+        if not self._constraints:
+            return SimplexResult(feasible=True, model={})
+        if not variables:
+            # Ground constraints: just evaluate the constants (with a small
+            # numerical tolerance on non-strict comparisons).
+            for constraint in self._constraints:
+                value = constraint.expression.constant
+                violated = value > _EPSILON if not constraint.strict else value >= 0.0
+                if violated:
+                    return SimplexResult(feasible=False, conflict=[constraint.label])
+            return SimplexResult(feasible=True, model={})
+
+        # --- Build the tableau ------------------------------------------------
+        # Structural variables first, then one slack per multi-variable
+        # constraint.  Single-variable constraints become direct bounds.
+        lower: dict[str, DeltaNumber | None] = {name: None for name in variables}
+        upper: dict[str, DeltaNumber | None] = {name: None for name in variables}
+        bound_label_lower: dict[str, str] = {}
+        bound_label_upper: dict[str, str] = {}
+
+        rows: dict[str, dict[str, float]] = {}
+        slack_index = 0
+
+        def tighten_upper(name: str, bound: DeltaNumber, label: str) -> None:
+            current = upper[name]
+            if current is None or bound.less_than(current, tol=0.0):
+                upper[name] = bound
+                bound_label_upper[name] = label
+
+        def tighten_lower(name: str, bound: DeltaNumber, label: str) -> None:
+            current = lower[name]
+            if current is None or bound.greater_than(current, tol=0.0):
+                lower[name] = bound
+                bound_label_lower[name] = label
+
+        for constraint in self._constraints:
+            coefficients = constraint.expression.coefficients
+            constant = constraint.expression.constant
+            label = constraint.label or repr(constraint.expression)
+            if len(coefficients) == 1:
+                ((name, coefficient),) = coefficients.items()
+                # coefficient * name + constant (<|<=) 0
+                bound_value = -constant / coefficient
+                if coefficient > 0:
+                    tighten_upper(
+                        name, DeltaNumber.of(bound_value, strict_upper=constraint.strict), label
+                    )
+                else:
+                    tighten_lower(
+                        name, DeltaNumber.of(bound_value, strict_lower=constraint.strict), label
+                    )
+                continue
+            slack_name = f"__slack_{slack_index}"
+            slack_index += 1
+            rows[slack_name] = dict(coefficients)
+            lower[slack_name] = None
+            upper[slack_name] = None
+            bound_label_upper[slack_name] = label
+            tighten_upper(
+                slack_name, DeltaNumber.of(-constant, strict_upper=constraint.strict), label
+            )
+
+        all_variables = variables + list(rows.keys())
+        order = {name: index for index, name in enumerate(all_variables)}
+
+        basic = set(rows.keys())
+        assignment: dict[str, DeltaNumber] = {}
+        for name in variables:
+            value = DeltaNumber(0.0, 0.0)
+            if lower[name] is not None and value.less_than(lower[name], tol=0.0):
+                value = lower[name]
+            if upper[name] is not None and value.greater_than(upper[name], tol=0.0):
+                value = upper[name]
+            assignment[name] = value
+        for slack_name, row in rows.items():
+            assignment[slack_name] = _row_value(row, assignment)
+
+        # Quick infeasibility from contradictory direct bounds.
+        for name in all_variables:
+            if (
+                lower[name] is not None
+                and upper[name] is not None
+                and upper[name].less_than(lower[name], tol=0.0)
+            ):
+                return SimplexResult(
+                    feasible=False,
+                    conflict=[bound_label_lower.get(name, ""), bound_label_upper.get(name, "")],
+                )
+
+        # --- Main simplex loop ------------------------------------------------
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise ValidationError("simplex iteration limit exceeded")
+
+            violated_name = None
+            needs_increase = False
+            for name in sorted(basic, key=lambda v: order[v]):
+                value = assignment[name]
+                if lower[name] is not None and value.less_than(lower[name]):
+                    violated_name = name
+                    needs_increase = True
+                    break
+                if upper[name] is not None and value.greater_than(upper[name]):
+                    violated_name = name
+                    needs_increase = False
+                    break
+            if violated_name is None:
+                model = self._concretise(assignment, variables)
+                return SimplexResult(feasible=True, model=model, iterations=iterations)
+
+            row = rows[violated_name]
+            pivot_name = None
+            for name in sorted(row.keys(), key=lambda v: order[v]):
+                coefficient = row[name]
+                if abs(coefficient) < 1e-12:
+                    continue
+                value = assignment[name]
+                if needs_increase:
+                    can_move = (
+                        coefficient > 0
+                        and (upper[name] is None or value.less_than(upper[name]))
+                    ) or (
+                        coefficient < 0
+                        and (lower[name] is None or value.greater_than(lower[name]))
+                    )
+                else:
+                    can_move = (
+                        coefficient > 0
+                        and (lower[name] is None or value.greater_than(lower[name]))
+                    ) or (
+                        coefficient < 0
+                        and (upper[name] is None or value.less_than(upper[name]))
+                    )
+                if can_move:
+                    pivot_name = name
+                    break
+
+            if pivot_name is None:
+                conflict = sorted(
+                    {bound_label_lower.get(violated_name, ""), bound_label_upper.get(violated_name, "")}
+                    | {bound_label_lower.get(n, "") for n in row}
+                    | {bound_label_upper.get(n, "") for n in row}
+                )
+                conflict = [c for c in conflict if c]
+                return SimplexResult(feasible=False, conflict=conflict, iterations=iterations)
+
+            target = lower[violated_name] if needs_increase else upper[violated_name]
+            _pivot_and_update(rows, assignment, basic, violated_name, pivot_name, target)
+
+    # ------------------------------------------------------------------
+    def _concretise(
+        self, assignment: dict[str, DeltaNumber], variables: list[str]
+    ) -> dict[str, float]:
+        """Choose a concrete δ making every original constraint hold."""
+        for exponent in range(3, 15):
+            epsilon = 10.0 ** (-exponent)
+            model = {name: assignment[name].concretise(epsilon) for name in variables}
+            if all(constraint.holds(model) for constraint in self._constraints):
+                return model
+        # Fall back to the real parts (valid when no strict constraint is tight).
+        return {name: assignment[name].real for name in variables}
+
+
+def _row_value(row: dict[str, float], assignment: dict[str, DeltaNumber]) -> DeltaNumber:
+    total = DeltaNumber(0.0, 0.0)
+    for name, coefficient in row.items():
+        total = total + assignment[name].scale(coefficient)
+    return total
+
+
+def _pivot_and_update(
+    rows: dict[str, dict[str, float]],
+    assignment: dict[str, DeltaNumber],
+    basic: set[str],
+    leaving: str,
+    entering: str,
+    target: DeltaNumber,
+) -> None:
+    """Pivot ``entering`` into the basis replacing ``leaving`` and update the assignment."""
+    row = rows[leaving]
+    coefficient = row[entering]
+    theta = (target - assignment[leaving]).scale(1.0 / coefficient)
+
+    assignment[leaving] = target
+    assignment[entering] = assignment[entering] + theta
+    for name in basic:
+        if name in (leaving,):
+            continue
+        other_row = rows[name]
+        if entering in other_row and abs(other_row[entering]) > 1e-15:
+            assignment[name] = assignment[name] + theta.scale(other_row[entering])
+
+    # --- Rewrite the tableau --------------------------------------------------
+    # leaving = sum(row[j] * j)  =>  entering = (leaving - sum_{j != entering}) / coeff
+    new_row = {leaving: 1.0 / coefficient}
+    for name, value in row.items():
+        if name == entering:
+            continue
+        new_row[name] = -value / coefficient
+    del rows[leaving]
+    basic.discard(leaving)
+    rows[entering] = new_row
+    basic.add(entering)
+
+    # Substitute the entering variable out of every other row.
+    for name in list(rows.keys()):
+        if name == entering:
+            continue
+        other_row = rows[name]
+        if entering not in other_row:
+            continue
+        factor = other_row.pop(entering)
+        if abs(factor) < 1e-15:
+            continue
+        for sub_name, sub_value in new_row.items():
+            other_row[sub_name] = other_row.get(sub_name, 0.0) + factor * sub_value
+            if abs(other_row[sub_name]) < 1e-15:
+                del other_row[sub_name]

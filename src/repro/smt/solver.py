@@ -1,0 +1,101 @@
+"""User-facing SMT solver facade (``add`` / ``check`` / ``model``).
+
+This mirrors the small subset of the Z3 python API that the attack-synthesis
+code needs: assert formulas, ask for satisfiability, and read real-variable
+values out of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smt.cnf import to_cnf
+from repro.smt.dpll import DPLLSolver
+from repro.smt.expr import Formula
+from repro.smt.linear import RealVar
+from repro.utils.results import SolveStatus
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class SolverResult:
+    """Result of a :meth:`Solver.check` call."""
+
+    status: SolveStatus
+    real_model: dict[str, float] = field(default_factory=dict)
+    bool_model: dict[str, bool] = field(default_factory=dict)
+    statistics: dict = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        """True when a model was found."""
+        return self.status is SolveStatus.SAT
+
+    def value(self, variable, default: float = 0.0) -> float:
+        """Value of a real variable in the model (0.0 when unconstrained)."""
+        name = variable.name if isinstance(variable, RealVar) else str(variable)
+        return float(self.real_model.get(name, default))
+
+
+class Solver:
+    """Incremental-ish facade: collect assertions, then :meth:`check`.
+
+    Each :meth:`check` call converts the current assertion set from scratch;
+    there is no push/pop state to manage, which matches how the synthesis
+    loops use the solver (one query per candidate threshold vector).
+    """
+
+    def __init__(self, theory_check: str = "eager", time_budget: float | None = None):
+        self._assertions: list[Formula] = []
+        self.theory_check = theory_check
+        self.time_budget = time_budget
+
+    # ------------------------------------------------------------------
+    def add(self, *formulas: Formula) -> None:
+        """Assert one or more formulas (conjunction semantics)."""
+        for formula in formulas:
+            if not isinstance(formula, Formula):
+                raise ValidationError(f"{formula!r} is not a Formula")
+            self._assertions.append(formula)
+
+    def assertions(self) -> list[Formula]:
+        """The current assertion list."""
+        return list(self._assertions)
+
+    def reset(self) -> None:
+        """Drop all assertions."""
+        self._assertions = []
+
+    # ------------------------------------------------------------------
+    def check(self, time_budget: float | None = None) -> SolverResult:
+        """Decide satisfiability of the conjunction of all assertions."""
+        budget = time_budget if time_budget is not None else self.time_budget
+        cnf = to_cnf(self._assertions)
+        dpll = DPLLSolver(cnf, theory_check=self.theory_check, time_budget=budget)
+        result = dpll.solve()
+
+        real_model: dict[str, float] = {}
+        bool_model: dict[str, bool] = {}
+        if result.status is SolveStatus.SAT:
+            real_model = dict(result.theory_model)
+            # Any real variable not constrained by asserted atoms defaults to 0.
+            for formula in self._assertions:
+                for name in formula.real_vars():
+                    real_model.setdefault(name, 0.0)
+            for variable, name in cnf.bool_name_of_variable.items():
+                if variable in result.bool_assignment:
+                    bool_model[name] = result.bool_assignment[variable]
+        statistics = {
+            "decisions": result.decisions,
+            "propagations": result.propagations,
+            "theory_checks": result.theory_checks,
+            "elapsed": result.elapsed,
+            "clauses": len(cnf.clauses),
+            "variables": cnf.variable_count,
+        }
+        return SolverResult(
+            status=result.status,
+            real_model=real_model,
+            bool_model=bool_model,
+            statistics=statistics,
+        )

@@ -1,0 +1,34 @@
+"""Ready-made closed-loop case studies.
+
+Each module builds a complete :class:`~repro.core.problem.SynthesisProblem`
+(plant, controller, estimator, monitors, performance criterion, attacker
+model) for one benchmark system:
+
+* :mod:`repro.systems.vsc` — the paper's Vehicle Stability Controller (§IV),
+* :mod:`repro.systems.trajectory` — the trajectory-tracking motivational
+  example (Fig. 1),
+* :mod:`repro.systems.dcmotor`, :mod:`repro.systems.quadtank`,
+  :mod:`repro.systems.cruise`, :mod:`repro.systems.pendulum` — additional
+  standard CPS security benchmarks used by the examples, tests and ablation
+  benchmarks.
+"""
+
+from repro.systems.base import CaseStudy, design_closed_loop
+from repro.systems.vsc import build_vsc_case_study, VSCParameters
+from repro.systems.trajectory import build_trajectory_case_study
+from repro.systems.dcmotor import build_dcmotor_case_study
+from repro.systems.quadtank import build_quadtank_case_study
+from repro.systems.cruise import build_cruise_case_study
+from repro.systems.pendulum import build_pendulum_case_study
+
+__all__ = [
+    "CaseStudy",
+    "design_closed_loop",
+    "build_vsc_case_study",
+    "VSCParameters",
+    "build_trajectory_case_study",
+    "build_dcmotor_case_study",
+    "build_quadtank_case_study",
+    "build_cruise_case_study",
+    "build_pendulum_case_study",
+]

@@ -1,0 +1,81 @@
+"""Shared plumbing for the benchmark case studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.lqr import lqr_gain
+from repro.control.tracking import feedforward_gain, tracking_state_target
+from repro.core.problem import SynthesisProblem
+from repro.estimation.kalman import steady_state_kalman
+from repro.lti.model import StateSpace
+from repro.lti.simulate import ClosedLoopSystem
+
+
+@dataclass
+class CaseStudy:
+    """A packaged benchmark: problem instance plus descriptive metadata.
+
+    Attributes
+    ----------
+    problem:
+        The ready-to-solve :class:`~repro.core.problem.SynthesisProblem`.
+    description:
+        One-paragraph description (used by the examples and reports).
+    extras:
+        System-specific artefacts (e.g. the raw monitor limits for plots).
+    """
+
+    name: str
+    problem: SynthesisProblem
+    description: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def system(self) -> ClosedLoopSystem:
+        """The closed loop under analysis."""
+        return self.problem.system
+
+    @property
+    def horizon(self) -> int:
+        """The analysis horizon ``T``."""
+        return self.problem.horizon
+
+
+def design_closed_loop(
+    plant: StateSpace,
+    Q_lqr: np.ndarray | None = None,
+    R_lqr: np.ndarray | None = None,
+    Q_kalman: np.ndarray | None = None,
+    R_kalman: np.ndarray | None = None,
+    reference: np.ndarray | None = None,
+    x_reference: np.ndarray | None = None,
+    name: str = "closed-loop",
+) -> ClosedLoopSystem:
+    """Standard loop-closure recipe used by every case study.
+
+    The controller gain comes from LQR, the observer gain from the
+    steady-state Kalman filter, and (when an output reference is given) the
+    static feedforward makes the closed loop track it with unit DC gain.  The
+    state-space set point ``x_reference`` defaults to the steady state
+    achieving the output reference.
+    """
+    K = lqr_gain(plant, Q_lqr, R_lqr)
+    L, _ = steady_state_kalman(plant, Q_kalman, R_kalman)
+    feedforward = None
+    if reference is not None:
+        reference = np.asarray(reference, dtype=float).reshape(-1)
+        feedforward = feedforward_gain(plant, K)
+        if x_reference is None:
+            x_reference, _ = tracking_state_target(plant, reference)
+    return ClosedLoopSystem(
+        plant=plant,
+        K=K,
+        L=L,
+        reference=reference,
+        feedforward=feedforward,
+        x_reference=x_reference,
+        name=name,
+    )

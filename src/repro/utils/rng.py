@@ -1,0 +1,35 @@
+"""Random-number-generator handling.
+
+Every stochastic routine in the library accepts either a seed, an existing
+:class:`numpy.random.Generator` or ``None`` and funnels it through
+:func:`ensure_rng` so that experiments are reproducible end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed_or_rng:
+        ``None`` for an unseeded generator, an ``int`` seed, or an existing
+        generator (returned unchanged so streams can be shared).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(seed_or_rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Spawn ``count`` independent child generators from one parent stream.
+
+    Used by Monte-Carlo routines (for example the FAR study) so each trial has
+    an independent, reproducible stream.
+    """
+    parent = ensure_rng(seed_or_rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+The fixtures centralise the small plants and closed loops used across many
+test modules so individual tests stay focused on behaviour, not setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.lqr import lqr_gain
+from repro.estimation.kalman import steady_state_kalman
+from repro.lti.discretize import zoh
+from repro.lti.model import StateSpace
+from repro.lti.simulate import ClosedLoopSystem
+from repro.systems.dcmotor import build_dcmotor_case_study
+from repro.systems.trajectory import build_trajectory_case_study
+
+
+@pytest.fixture(scope="session")
+def double_integrator_continuous() -> StateSpace:
+    """Continuous-time double integrator with position measurement."""
+    return StateSpace(
+        A=np.array([[0.0, 1.0], [0.0, 0.0]]),
+        B=np.array([[0.0], [1.0]]),
+        C=np.array([[1.0, 0.0]]),
+        Q_w=np.diag([0.0, 1e-4]),
+        R_v=np.array([[1e-4]]),
+        name="double-integrator",
+    )
+
+
+@pytest.fixture(scope="session")
+def double_integrator(double_integrator_continuous) -> StateSpace:
+    """Discretised double integrator (dt = 0.1 s)."""
+    return zoh(double_integrator_continuous, 0.1)
+
+
+@pytest.fixture(scope="session")
+def simple_closed_loop(double_integrator) -> ClosedLoopSystem:
+    """LQR + Kalman closed loop around the double integrator."""
+    K = lqr_gain(double_integrator, Q=np.diag([10.0, 1.0]), R=np.array([[1.0]]))
+    L, _ = steady_state_kalman(double_integrator)
+    return ClosedLoopSystem(plant=double_integrator, K=K, L=L)
+
+
+@pytest.fixture(scope="session")
+def dcmotor_problem():
+    """The DC-motor synthesis problem (smallest, fastest benchmark)."""
+    return build_dcmotor_case_study().problem
+
+
+@pytest.fixture(scope="session")
+def small_dcmotor_problem():
+    """A short-horizon DC-motor problem for the slower (SMT) backend tests."""
+    return build_dcmotor_case_study(horizon=8).problem
+
+
+@pytest.fixture(scope="session")
+def small_trajectory_problem():
+    """A short-horizon trajectory problem for the slower (SMT) backend tests."""
+    return build_trajectory_case_study(horizon=6).problem
+
+
+@pytest.fixture(scope="session")
+def trajectory_problem():
+    """The trajectory-tracking synthesis problem of Fig. 1."""
+    return build_trajectory_case_study().problem
+
+
+@pytest.fixture(scope="session")
+def stable_random_plant() -> StateSpace:
+    """A randomly generated but fixed stable discrete plant (3 states, 2 outputs)."""
+    rng = np.random.default_rng(1234)
+    A = rng.normal(size=(3, 3))
+    A = 0.6 * A / np.max(np.abs(np.linalg.eigvals(A)))
+    B = rng.normal(size=(3, 1))
+    C = rng.normal(size=(2, 3))
+    return StateSpace(
+        A=A,
+        B=B,
+        C=C,
+        Q_w=np.eye(3) * 1e-4,
+        R_v=np.eye(2) * 1e-3,
+        dt=0.1,
+        name="random-stable",
+    )

@@ -1,0 +1,139 @@
+"""Tests for Algorithm 1 (attack-vector synthesis) and the solver backends."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.attack_synthesis import synthesize_attack
+from repro.core.encoding import AttackEncoding
+from repro.falsification.lp_backend import LPAttackBackend
+from repro.falsification.optimizer import OptimizationFalsifier
+from repro.falsification.registry import available_backends, get_backend
+from repro.falsification.smt_backend import SMTAttackBackend
+from repro.utils.results import SolveStatus
+from repro.utils.validation import ValidationError
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_backends()) == {"lp", "smt", "optimizer"}
+
+    def test_get_by_name_and_instance(self):
+        backend = get_backend("lp")
+        assert isinstance(backend, LPAttackBackend)
+        assert get_backend(backend) is backend
+        assert isinstance(get_backend("smt"), SMTAttackBackend)
+        assert isinstance(get_backend("optimizer"), OptimizationFalsifier)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            get_backend("z3")
+
+    def test_lp_margin_mode_validation(self):
+        with pytest.raises(ValidationError):
+            LPAttackBackend(margin_mode="bogus")
+
+
+class TestAlgorithm1OnTrajectory:
+    def test_attack_exists_without_detector(self, trajectory_problem):
+        result = synthesize_attack(trajectory_problem, threshold=None, backend="lp")
+        assert result.found
+        assert result.verified
+        assert result.attack.horizon == trajectory_problem.horizon
+        # The synthesized attack indeed breaks the performance criterion...
+        assert not trajectory_problem.pfc_satisfied(result.trace)
+        # ... while staying invisible to the existing monitors.
+        assert not trajectory_problem.mdc_alarm(result.trace)
+
+    def test_bool_protocol(self, trajectory_problem):
+        result = synthesize_attack(trajectory_problem, threshold=None)
+        assert bool(result) is True
+
+    def test_tight_threshold_blocks_attacks(self, trajectory_problem):
+        # A very small static threshold leaves the attacker no room at all.
+        threshold = trajectory_problem.static_threshold(1e-4)
+        result = synthesize_attack(trajectory_problem, threshold=threshold, backend="lp")
+        assert result.status is SolveStatus.UNSAT
+        assert not result.found
+
+    def test_loose_threshold_admits_attack_and_attack_is_stealthy(self, trajectory_problem):
+        threshold = trajectory_problem.static_threshold(10.0)
+        result = synthesize_attack(trajectory_problem, threshold=threshold, backend="lp")
+        assert result.found
+        assert not trajectory_problem.detector_alarm(result.trace, threshold)
+
+    def test_residue_norms_are_consistent(self, trajectory_problem):
+        result = synthesize_attack(trajectory_problem, threshold=None)
+        expected = trajectory_problem.residue_norms(result.trace.residues)
+        np.testing.assert_allclose(result.residue_norms, expected)
+
+    def test_monitors_restrict_the_attacker(self, trajectory_problem):
+        """Dropping the monitors can only enlarge the attacker's damage."""
+        no_mdc = dataclasses.replace(
+            trajectory_problem, mdc=type(trajectory_problem.mdc).empty()
+        )
+        with_monitors = synthesize_attack(trajectory_problem, threshold=None)
+        without_monitors = synthesize_attack(no_mdc, threshold=None)
+        assert with_monitors.found and without_monitors.found
+
+
+class TestAlgorithm1OnDCMotor:
+    def test_attack_exists(self, dcmotor_problem):
+        result = synthesize_attack(dcmotor_problem, threshold=None, backend="lp")
+        assert result.found
+        assert result.verified
+
+    def test_unknown_for_optimizer_when_it_fails(self, dcmotor_problem):
+        # The optimizer is incomplete: with essentially no budget it reports UNKNOWN.
+        backend = OptimizationFalsifier(restarts=1, iterations_per_restart=1, seed=0)
+        threshold = dcmotor_problem.static_threshold(1e-6)
+        result = synthesize_attack(dcmotor_problem, threshold=threshold, backend=backend)
+        assert result.status in (SolveStatus.UNKNOWN, SolveStatus.UNSAT)
+
+    def test_attack_bound_is_respected(self, dcmotor_problem):
+        result = synthesize_attack(dcmotor_problem, threshold=None, backend="lp")
+        bound = float(dcmotor_problem.attack_bound)
+        assert result.attack.peak() <= bound + 1e-6
+
+
+class TestBackendAgreement:
+    """LP and SMT backends must agree on satisfiability."""
+
+    @pytest.mark.parametrize("threshold_value", [None, 10.0, 1e-4])
+    def test_verdicts_agree_on_dcmotor(self, small_dcmotor_problem, threshold_value):
+        problem = small_dcmotor_problem
+        threshold = (
+            None if threshold_value is None else problem.static_threshold(threshold_value)
+        )
+        lp = synthesize_attack(problem, threshold=threshold, backend="lp")
+        smt = synthesize_attack(problem, threshold=threshold, backend="smt")
+        assert lp.status == smt.status
+        if smt.found:
+            assert smt.verified
+
+    def test_smt_finds_verified_attack_on_trajectory(self, small_trajectory_problem):
+        problem = small_trajectory_problem
+        result = synthesize_attack(problem, threshold=None, backend="smt")
+        lp_result = synthesize_attack(problem, threshold=None, backend="lp")
+        assert result.status == lp_result.status
+        if result.found:
+            assert result.verified
+
+    def test_smt_formula_construction(self, small_dcmotor_problem):
+        problem = small_dcmotor_problem
+        encoding = AttackEncoding(problem=problem, threshold=problem.static_threshold(1.0))
+        backend = SMTAttackBackend()
+        formulas = backend.build_formulas(encoding)
+        assert len(formulas) > 0
+
+
+class TestOptimizerBackend:
+    def test_optimizer_attack_is_verified_when_found(self, small_trajectory_problem):
+        problem = small_trajectory_problem
+        backend = OptimizationFalsifier(restarts=20, iterations_per_restart=400, seed=1)
+        result = synthesize_attack(problem, threshold=None, backend=backend)
+        if result.found:
+            assert result.verified
+        else:
+            assert result.status is SolveStatus.UNKNOWN

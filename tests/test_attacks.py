@@ -1,0 +1,154 @@
+"""Unit tests for attack models, templates and the injector."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fdi import AttackChannelMask, FDIAttack
+from repro.attacks.injector import AttackInjector
+from repro.attacks.templates import (
+    BiasAttack,
+    GeometricAttack,
+    NoAttack,
+    RampAttack,
+    ReplayAttack,
+    SurgeAttack,
+)
+from repro.lti.simulate import SimulationOptions
+from repro.utils.validation import ValidationError
+
+
+class TestAttackChannelMask:
+    def test_all_and_none(self):
+        full = AttackChannelMask.all_channels(3)
+        assert full.attackable == (0, 1, 2)
+        assert full.protected == ()
+        empty = AttackChannelMask.none(3)
+        assert empty.attackable == ()
+        assert empty.protected == (0, 1, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            AttackChannelMask(n_outputs=2, attackable=(2,))
+
+    def test_project_zeroes_protected(self):
+        mask = AttackChannelMask(n_outputs=3, attackable=(1,))
+        projected = mask.project(np.ones((4, 3)))
+        np.testing.assert_allclose(projected[:, [0, 2]], 0.0)
+        np.testing.assert_allclose(projected[:, 1], 1.0)
+
+    def test_bool_array(self):
+        mask = AttackChannelMask(n_outputs=3, attackable=(0, 2))
+        np.testing.assert_array_equal(mask.as_bool_array(), [True, False, True])
+
+
+class TestFDIAttack:
+    def test_basic_properties(self):
+        attack = FDIAttack(np.array([[1.0, 0.0], [0.0, -2.0]]))
+        assert attack.horizon == 2
+        assert attack.n_outputs == 2
+        assert attack.peak() == 2.0
+        assert not attack.is_zero()
+        assert attack.magnitude("inf") == pytest.approx(3.0)
+
+    def test_zeros_constructor(self):
+        attack = FDIAttack.zeros(5, 2)
+        assert attack.is_zero()
+        assert attack.support().size == 0
+
+    def test_mask_violation_rejected(self):
+        mask = AttackChannelMask(n_outputs=2, attackable=(0,))
+        with pytest.raises(ValidationError):
+            FDIAttack(np.ones((3, 2)), mask=mask)
+
+    def test_mask_respected_passes(self):
+        mask = AttackChannelMask(n_outputs=2, attackable=(0,))
+        values = np.zeros((3, 2))
+        values[:, 0] = 1.0
+        attack = FDIAttack(values, mask=mask)
+        assert attack.support().size == 3
+
+    def test_truncate_and_scale(self):
+        attack = FDIAttack(np.arange(6, dtype=float).reshape(3, 2))
+        truncated = attack.truncated(2)
+        assert truncated.horizon == 2
+        scaled = attack.scaled(2.0)
+        assert scaled.peak() == pytest.approx(2 * attack.peak())
+        with pytest.raises(ValidationError):
+            attack.truncated(10)
+
+
+class TestTemplates:
+    def test_no_attack(self):
+        assert NoAttack().generate(5, 2).is_zero()
+
+    def test_bias_attack_start(self):
+        attack = BiasAttack(bias=2.0, start=3).generate(6, 1)
+        np.testing.assert_allclose(attack.values[:3, 0], 0.0)
+        np.testing.assert_allclose(attack.values[3:, 0], 2.0)
+
+    def test_ramp_attack_slope(self):
+        attack = RampAttack(slope=0.5, start=1).generate(5, 1)
+        np.testing.assert_allclose(attack.values[:, 0], [0.0, 0.0, 0.5, 1.0, 1.5])
+
+    def test_surge_attack_profile(self):
+        attack = SurgeAttack(surge_value=5.0, settle_value=0.5, surge_length=2).generate(4, 1)
+        np.testing.assert_allclose(attack.values[:, 0], [5.0, 5.0, 0.5, 0.5])
+
+    def test_geometric_attack_growth(self):
+        attack = GeometricAttack(initial=1.0, ratio=2.0).generate(4, 1)
+        np.testing.assert_allclose(attack.values[:, 0], [1.0, 2.0, 4.0, 8.0])
+
+    def test_geometric_requires_positive_ratio(self):
+        with pytest.raises(ValidationError):
+            GeometricAttack(initial=1.0, ratio=0.0)
+
+    def test_templates_respect_mask(self):
+        mask = AttackChannelMask(n_outputs=2, attackable=(1,))
+        attack = BiasAttack(bias=1.0, mask=mask).generate(3, 2)
+        np.testing.assert_allclose(attack.values[:, 0], 0.0)
+        np.testing.assert_allclose(attack.values[:, 1], 1.0)
+
+    def test_template_mask_dimension_mismatch(self):
+        mask = AttackChannelMask(n_outputs=3, attackable=(1,))
+        with pytest.raises(ValidationError):
+            BiasAttack(bias=1.0, mask=mask).generate(3, 2)
+
+    def test_replay_materialize(self):
+        recorded = np.array([[1.0], [2.0]])
+        live = np.array([[5.0], [5.0], [5.0]])
+        attack = ReplayAttack(recorded=recorded, start=1).materialize(live)
+        # At samples 1 and 2 the measured value becomes the recording.
+        np.testing.assert_allclose(live[1:3] + attack.values[1:3], recorded)
+        np.testing.assert_allclose(attack.values[0], 0.0)
+
+
+class TestInjector:
+    def test_resolve_none(self, simple_closed_loop):
+        injector = AttackInjector(simple_closed_loop)
+        assert injector.resolve(None, 5).is_zero()
+
+    def test_resolve_template(self, simple_closed_loop):
+        injector = AttackInjector(simple_closed_loop)
+        attack = injector.resolve(BiasAttack(bias=1.0), 5)
+        assert attack.horizon == 5
+
+    def test_resolve_pads_and_truncates(self, simple_closed_loop):
+        injector = AttackInjector(simple_closed_loop)
+        short = FDIAttack(np.ones((3, 1)))
+        padded = injector.resolve(short, 6)
+        assert padded.horizon == 6
+        np.testing.assert_allclose(padded.values[3:], 0.0)
+        longer = FDIAttack(np.ones((8, 1)))
+        assert injector.resolve(longer, 6).horizon == 6
+
+    def test_resolve_raw_array_shape_check(self, simple_closed_loop):
+        injector = AttackInjector(simple_closed_loop)
+        with pytest.raises(ValidationError):
+            injector.resolve(np.ones((3, 2)), 3)
+
+    def test_compare_shares_noise(self, simple_closed_loop):
+        injector = AttackInjector(simple_closed_loop)
+        options = SimulationOptions(horizon=10, with_noise=True, seed=3, x0=[0.5, 0.0])
+        baseline, attacked = injector.compare(BiasAttack(bias=0.5), options)
+        np.testing.assert_allclose(baseline.measurement_noise, attacked.measurement_noise)
+        assert not np.allclose(baseline.states, attacked.states)

@@ -1,0 +1,107 @@
+"""Unit tests for the attack-synthesis constraint encoding."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import AttackEncoding
+from repro.utils.validation import ValidationError
+
+
+class TestStructure:
+    def test_no_threshold_means_no_stealth_constraints(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=None)
+        assert all(c.kind != "stealth" for c in encoding.base_constraints())
+
+    def test_stealth_constraints_only_for_finite_entries(self, trajectory_problem):
+        threshold = trajectory_problem.fresh_threshold()
+        threshold.set_value(2, 0.5)
+        threshold.set_value(7, 0.1)
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=threshold)
+        stealth = [c for c in encoding.base_constraints() if c.kind == "stealth"]
+        # Two finite entries, one output channel, two sides each.
+        assert len(stealth) == 2 * 2
+
+    def test_full_threshold_constraint_count(self, trajectory_problem):
+        threshold = trajectory_problem.static_threshold(0.5)
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=threshold)
+        stealth = [c for c in encoding.base_constraints() if c.kind == "stealth"]
+        assert len(stealth) == trajectory_problem.horizon * 2
+
+    def test_monitor_constraints_present(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=None)
+        mdc = [c for c in encoding.base_constraints() if c.kind == "mdc"]
+        assert len(mdc) > 0
+
+    def test_violation_branches_match_pfc(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=None)
+        # ReachSetCriterion on one component: two ways to violate (below / above).
+        assert len(encoding.violation_branches()) == 2
+
+    def test_bounds_length(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem)
+        assert len(encoding.variable_bounds()) == encoding.n_variables
+
+    def test_rejects_non_inf_norm(self, trajectory_problem):
+        problem = dataclasses.replace(trajectory_problem, residue_norm=2)
+        with pytest.raises(ValidationError):
+            AttackEncoding(problem=problem)
+
+
+class TestSemantics:
+    def test_zero_attack_satisfies_base_but_not_violation(self, trajectory_problem):
+        """The nominal run is stealthy (monitors quiet) and meets pfc."""
+        threshold = trajectory_problem.static_threshold(10.0)
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=threshold)
+        theta = np.zeros(encoding.n_variables)
+        assert encoding.theta_satisfies_base(theta)
+        assert not encoding.theta_violates_pfc(theta)
+
+    def test_large_attack_violates_base_monitors(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=None)
+        theta = np.full(encoding.n_variables, 10.0)  # measured position far out of range
+        assert not encoding.theta_satisfies_base(theta)
+
+    def test_stealth_violated_by_large_attack_when_threshold_tight(self, trajectory_problem):
+        threshold = trajectory_problem.static_threshold(0.01)
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=threshold)
+        theta = np.full(encoding.n_variables, 0.3)
+        assert not encoding.theta_satisfies_base(theta)
+
+    def test_consistency_with_simulation_verdicts(self, trajectory_problem):
+        """Encoding verdicts must agree with simulating the same attack."""
+        threshold = trajectory_problem.static_threshold(0.2)
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=threshold)
+        unrolling = encoding.unrolling
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            theta = rng.uniform(-0.2, 0.2, size=encoding.n_variables)
+            attack = unrolling.attack_from_theta(theta)
+            trace = trajectory_problem.simulate(attack=attack)
+            sim_stealthy = (not trajectory_problem.mdc_alarm(trace)) and (
+                not trajectory_problem.detector_alarm(trace, threshold)
+            )
+            sim_violates = not trajectory_problem.pfc_satisfied(trace)
+            # The encoding applies a strictness margin, so it may be more
+            # conservative than the simulator but never less.
+            if encoding.theta_satisfies_base(theta):
+                assert sim_stealthy
+            if encoding.theta_violates_pfc(theta):
+                assert sim_violates
+
+    def test_weighted_stealth_scaling(self, dcmotor_problem):
+        """Residue weights rescale the stealth constraints."""
+        problem = dataclasses.replace(dcmotor_problem, residue_weights=np.array([2.0]))
+        threshold = problem.static_threshold(1.0)
+        encoding = AttackEncoding(problem=problem, threshold=threshold)
+        stealth = [c for c in encoding.base_constraints() if c.kind == "stealth"]
+        unweighted = AttackEncoding(
+            problem=dcmotor_problem, threshold=dcmotor_problem.static_threshold(1.0)
+        )
+        stealth_unweighted = [
+            c for c in unweighted.base_constraints() if c.kind == "stealth"
+        ]
+        # Same structure, scaled rows.
+        assert len(stealth) == len(stealth_unweighted)
+        np.testing.assert_allclose(stealth[0].row * 2.0, stealth_unweighted[0].row, atol=1e-12)

@@ -1,0 +1,144 @@
+"""Unit tests for performance criteria (pfc)."""
+
+import numpy as np
+import pytest
+
+from repro.core.specs import (
+    CompositeCriterion,
+    FractionOfTargetCriterion,
+    ReachSetCriterion,
+    StateBoundCriterion,
+    StateCondition,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestStateCondition:
+    def test_requires_bound(self):
+        with pytest.raises(ValidationError):
+            StateCondition(terms=((0, 0, 1.0),))
+
+    def test_value_and_holds(self):
+        condition = StateCondition(terms=((2, 1, 1.0),), constant=-1.0, lower=0.0, upper=1.0)
+        states = np.zeros((3, 2))
+        states[2, 1] = 1.5
+        assert condition.value(states) == pytest.approx(0.5)
+        assert condition.holds(states)
+        states[2, 1] = 3.0
+        assert not condition.holds(states)
+
+    def test_max_sample(self):
+        condition = StateCondition(terms=((4, 0, 1.0), (2, 1, -1.0)), lower=0.0)
+        assert condition.max_sample() == 4
+
+
+class TestReachSetCriterion:
+    def test_satisfied_inside_box(self):
+        criterion = ReachSetCriterion(x_des=[1.0, 0.0], epsilon=0.1)
+        states = np.zeros((6, 2))
+        states[5] = [1.05, 0.02]
+        assert criterion.satisfied(states)
+        states[5] = [1.2, 0.0]
+        assert not criterion.satisfied(states)
+
+    def test_component_restriction(self):
+        criterion = ReachSetCriterion(x_des=[1.0, 0.0], epsilon=0.1, components=(0,))
+        states = np.zeros((4, 2))
+        states[3] = [1.0, 99.0]
+        assert criterion.satisfied(states)
+
+    def test_explicit_at(self):
+        criterion = ReachSetCriterion(x_des=[0.0], epsilon=0.1, at=2)
+        states = np.array([[5.0], [5.0], [0.05], [9.0]])
+        assert criterion.satisfied(states, horizon=3)
+        assert criterion.required_horizon() == 2
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValidationError):
+            ReachSetCriterion(x_des=[0.0], epsilon=-0.1)
+        with pytest.raises(ValidationError):
+            ReachSetCriterion(x_des=[0.0, 1.0], epsilon=[0.1, 0.1, 0.1])
+
+    def test_conditions_structure(self):
+        criterion = ReachSetCriterion(x_des=[1.0, -1.0], epsilon=[0.1, 0.2])
+        conditions = criterion.conditions(horizon=7)
+        assert len(conditions) == 2
+        assert all(c.terms[0][0] == 7 for c in conditions)
+        assert conditions[0].lower == -0.1 and conditions[0].upper == 0.1
+
+
+class TestFractionOfTarget:
+    def test_positive_target(self):
+        criterion = FractionOfTargetCriterion(state_index=0, target=2.0, fraction=0.8, at=3)
+        states = np.zeros((4, 1))
+        states[3, 0] = 1.7
+        assert criterion.satisfied(states, horizon=3)
+        states[3, 0] = 1.5
+        assert not criterion.satisfied(states, horizon=3)
+
+    def test_negative_target(self):
+        criterion = FractionOfTargetCriterion(state_index=0, target=-2.0, fraction=0.8)
+        states = np.zeros((4, 1))
+        states[3, 0] = -1.7
+        assert criterion.satisfied(states)
+        states[3, 0] = -1.0
+        assert not criterion.satisfied(states)
+
+    def test_two_sided_catches_overshoot(self):
+        criterion = FractionOfTargetCriterion(
+            state_index=0, target=1.0, fraction=0.8, two_sided=True
+        )
+        states = np.zeros((3, 1))
+        states[2, 0] = 1.5
+        assert not criterion.satisfied(states)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            FractionOfTargetCriterion(state_index=0, target=0.0, fraction=0.8)
+        with pytest.raises(ValidationError):
+            FractionOfTargetCriterion(state_index=0, target=1.0, fraction=1.5)
+
+
+class TestStateBoundCriterion:
+    def test_final_sample_bound(self):
+        criterion = StateBoundCriterion(state_index=0, lower=-1.0, upper=1.0)
+        states = np.zeros((5, 1))
+        assert criterion.satisfied(states)
+        states[4, 0] = 2.0
+        assert not criterion.satisfied(states)
+
+    def test_every_step_invariant(self):
+        criterion = StateBoundCriterion(state_index=0, upper=1.0, every_step=True)
+        states = np.zeros((5, 1))
+        states[2, 0] = 2.0
+        assert not criterion.satisfied(states)
+        assert len(criterion.conditions(4)) == 4
+
+    def test_needs_bound(self):
+        with pytest.raises(ValidationError):
+            StateBoundCriterion(state_index=0)
+
+
+class TestComposite:
+    def test_conjunction_semantics(self):
+        composite = CompositeCriterion(
+            members=[
+                ReachSetCriterion(x_des=[1.0], epsilon=0.1),
+                StateBoundCriterion(state_index=0, upper=2.0, every_step=True),
+            ]
+        )
+        states = np.zeros((4, 1))
+        states[3, 0] = 1.0
+        assert composite.satisfied(states)
+        states[1, 0] = 5.0
+        assert not composite.satisfied(states)
+
+    def test_required_horizon(self):
+        composite = CompositeCriterion(
+            members=[
+                ReachSetCriterion(x_des=[1.0], epsilon=0.1, at=5),
+                ReachSetCriterion(x_des=[1.0], epsilon=0.1, at=9),
+            ]
+        )
+        assert composite.required_horizon() == 9
+        assert CompositeCriterion(members=[]).required_horizon() is None

@@ -1,0 +1,128 @@
+"""Tests for the FAR evaluator and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.far import FalseAlarmEvaluator
+from repro.core.pipeline import SynthesisPipeline
+from repro.noise.models import BoundedUniformNoise
+from repro.utils.validation import ValidationError
+
+
+class TestFalseAlarmEvaluator:
+    def test_loose_detector_has_zero_far(self, trajectory_problem):
+        evaluator = FalseAlarmEvaluator(trajectory_problem, count=50, seed=0)
+        loose = trajectory_problem.static_threshold(100.0)
+        assert evaluator.evaluate_single(loose) == 0.0
+
+    def test_tight_detector_has_full_far(self, trajectory_problem):
+        evaluator = FalseAlarmEvaluator(trajectory_problem, count=50, seed=0)
+        tight = trajectory_problem.static_threshold(1e-9)
+        assert evaluator.evaluate_single(tight) == 1.0
+
+    def test_far_is_monotone_in_threshold(self, trajectory_problem):
+        evaluator = FalseAlarmEvaluator(trajectory_problem, count=100, seed=1)
+        rates = [
+            evaluator.evaluate_single(trajectory_problem.static_threshold(value))
+            for value in (0.001, 0.01, 0.05)
+        ]
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_study_bookkeeping(self, trajectory_problem):
+        evaluator = FalseAlarmEvaluator(trajectory_problem, count=40, seed=2)
+        study = evaluator.evaluate(
+            {
+                "loose": trajectory_problem.static_threshold(1.0),
+                "tight": trajectory_problem.static_threshold(1e-6),
+            }
+        )
+        assert study.generated == 40
+        assert study.kept <= 40
+        assert set(study.rates) == {"loose", "tight"}
+        assert study.rate("tight") >= study.rate("loose")
+
+    def test_benign_population_is_memoised_and_reproducible(self, trajectory_problem):
+        evaluator = FalseAlarmEvaluator(trajectory_problem, count=20, seed=3)
+        first = evaluator.benign_traces()
+        second = evaluator.benign_traces()
+        assert first is second
+        other = FalseAlarmEvaluator(trajectory_problem, count=20, seed=3)
+        np.testing.assert_allclose(
+            first[0].measurement_noise, other.benign_traces()[0].measurement_noise
+        )
+
+    def test_custom_noise_model_dimension_checked(self, trajectory_problem):
+        with pytest.raises(ValidationError):
+            FalseAlarmEvaluator(
+                trajectory_problem, noise_model=BoundedUniformNoise(bounds=[0.1, 0.1]), count=10
+            )
+
+    def test_initial_state_spread_creates_transient(self, trajectory_problem):
+        plain = FalseAlarmEvaluator(trajectory_problem, count=30, seed=4)
+        spread = FalseAlarmEvaluator(
+            trajectory_problem,
+            count=30,
+            seed=4,
+            initial_state_spread=np.array([0.05, 0.0]),
+            filter_pfc=False,
+        )
+        plain_peak = np.mean([trace.residue_norms("inf").max() for trace in plain.benign_traces()])
+        spread_peak = np.mean(
+            [trace.residue_norms("inf").max() for trace in spread.benign_traces()]
+        )
+        assert spread_peak > plain_peak
+
+    def test_initial_state_spread_validation(self, trajectory_problem):
+        with pytest.raises(ValidationError):
+            FalseAlarmEvaluator(trajectory_problem, count=5, initial_state_spread=np.array([0.1]))
+
+    def test_needs_detectors(self, trajectory_problem):
+        evaluator = FalseAlarmEvaluator(trajectory_problem, count=5)
+        with pytest.raises(ValidationError):
+            evaluator.evaluate({})
+
+    def test_requires_noise_model_when_plant_noiseless(self, simple_closed_loop):
+        from repro.core.problem import SynthesisProblem
+        from repro.core.specs import ReachSetCriterion
+
+        noiseless_plant = simple_closed_loop.plant.without_noise()
+        from repro.lti.simulate import ClosedLoopSystem
+
+        system = ClosedLoopSystem(
+            plant=noiseless_plant, K=simple_closed_loop.K, L=simple_closed_loop.L
+        )
+        problem = SynthesisProblem(
+            system=system,
+            pfc=ReachSetCriterion(x_des=[0.0, 0.0], epsilon=1.0),
+            horizon=5,
+        )
+        with pytest.raises(ValidationError):
+            FalseAlarmEvaluator(problem, count=5)
+
+
+class TestPipeline:
+    def test_full_run_on_trajectory(self, trajectory_problem):
+        pipeline = SynthesisPipeline(
+            problem=trajectory_problem,
+            algorithms=("pivot", "stepwise", "static"),
+            far_count=50,
+            min_threshold=0.005,
+        )
+        report = pipeline.run()
+        assert report.is_vulnerable
+        assert set(report.synthesis) == {"pivot", "stepwise", "static"}
+        assert report.far_study is not None
+        rows = report.summary_rows()
+        assert len(rows) == 3
+        assert all("false_alarm_rate" in row for row in rows)
+
+    def test_far_can_be_disabled(self, trajectory_problem):
+        pipeline = SynthesisPipeline(
+            problem=trajectory_problem, algorithms=("static",), far_count=0
+        )
+        report = pipeline.run()
+        assert report.far_study is None
+
+    def test_unknown_algorithm_rejected(self, trajectory_problem):
+        with pytest.raises(ValidationError):
+            SynthesisPipeline(problem=trajectory_problem, algorithms=("magic",))

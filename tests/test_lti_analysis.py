@@ -1,0 +1,91 @@
+"""Unit tests for LTI structural and response analysis."""
+
+import numpy as np
+import pytest
+
+from repro.lti.analysis import (
+    dc_gain,
+    impulse_response,
+    is_controllable,
+    is_observable,
+    is_stable,
+    settling_time,
+    stability_margin,
+    step_response,
+)
+from repro.lti.model import StateSpace
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def stable_first_order():
+    return StateSpace(A=np.array([[0.5]]), B=np.array([[1.0]]), C=np.array([[1.0]]), dt=1.0)
+
+
+class TestStability:
+    def test_discrete_stable(self, stable_first_order):
+        assert is_stable(stable_first_order)
+        assert stability_margin(stable_first_order) == pytest.approx(0.5)
+
+    def test_discrete_unstable(self):
+        model = StateSpace(A=np.array([[1.2]]), B=np.eye(1), C=np.eye(1), dt=1.0)
+        assert not is_stable(model)
+        assert stability_margin(model) < 0
+
+    def test_continuous_stability(self):
+        model = StateSpace(A=np.array([[-2.0]]), B=np.eye(1), C=np.eye(1))
+        assert is_stable(model)
+        assert stability_margin(model) == pytest.approx(2.0)
+
+    def test_structural(self, double_integrator):
+        assert is_controllable(double_integrator)
+        assert is_observable(double_integrator)
+
+
+class TestResponses:
+    def test_dc_gain_discrete(self, stable_first_order):
+        # Steady state of x = 0.5 x + u is 2 u.
+        assert dc_gain(stable_first_order)[0, 0] == pytest.approx(2.0)
+
+    def test_dc_gain_continuous(self):
+        model = StateSpace(A=np.array([[-2.0]]), B=np.array([[4.0]]), C=np.array([[1.0]]))
+        assert dc_gain(model)[0, 0] == pytest.approx(2.0)
+
+    def test_step_response_converges_to_dc_gain(self, stable_first_order):
+        response = step_response(stable_first_order, horizon=60)
+        assert response[-1, 0] == pytest.approx(dc_gain(stable_first_order)[0, 0], rel=1e-6)
+
+    def test_step_response_requires_discrete(self, double_integrator_continuous):
+        with pytest.raises(ValidationError):
+            step_response(double_integrator_continuous, horizon=5)
+
+    def test_step_response_bad_input_index(self, stable_first_order):
+        with pytest.raises(ValidationError):
+            step_response(stable_first_order, horizon=5, input_index=3)
+
+    def test_impulse_response_sums_to_dc_gain(self, stable_first_order):
+        response = impulse_response(stable_first_order, horizon=80)
+        assert response.sum() == pytest.approx(dc_gain(stable_first_order)[0, 0], rel=1e-6)
+
+    def test_impulse_response_bad_index(self, stable_first_order):
+        with pytest.raises(ValidationError):
+            impulse_response(stable_first_order, horizon=5, input_index=2)
+
+
+class TestSettlingTime:
+    def test_settles_immediately(self):
+        assert settling_time(np.ones(10)) == 0
+
+    def test_never_settles(self):
+        signal = np.concatenate([np.zeros(5), [10.0], np.zeros(4), [1.0]])
+        # The final value is 1.0; earlier samples deviate by more than 2 %.
+        assert settling_time(signal) == len(signal) - 1
+
+    def test_settling_index(self):
+        signal = np.array([0.0, 0.5, 0.9, 0.99, 1.0, 1.0, 1.0])
+        assert settling_time(signal, final_value=1.0) == 3
+
+    def test_multivariate(self):
+        signal = np.column_stack([np.linspace(0, 1, 50), np.ones(50)])
+        index = settling_time(signal)
+        assert 0 < index < 50

@@ -1,0 +1,190 @@
+"""Unit tests for the plant monitors (mdc)."""
+
+import numpy as np
+import pytest
+
+from repro.monitors.base import LinearCondition
+from repro.monitors.composite import CompositeMonitor
+from repro.monitors.deadzone import DeadZoneMonitor
+from repro.monitors.gradient_monitor import GradientMonitor
+from repro.monitors.range_monitor import RangeMonitor
+from repro.monitors.relation_monitor import RelationMonitor
+from repro.utils.validation import ValidationError
+
+DT = 0.1
+
+
+class TestLinearCondition:
+    def test_requires_a_bound(self):
+        with pytest.raises(ValidationError):
+            LinearCondition(terms=((0, 0, 1.0),))
+
+    def test_bounds_ordering(self):
+        with pytest.raises(ValidationError):
+            LinearCondition(terms=((0, 0, 1.0),), lower=1.0, upper=0.0)
+
+    def test_evaluate(self):
+        condition = LinearCondition(terms=((1, 0, 2.0),), constant=-1.0, lower=0.0, upper=3.0)
+        measurements = np.array([[0.0], [1.0]])
+        assert condition.value(measurements) == pytest.approx(1.0)
+        assert condition.evaluate(measurements)
+        measurements[1, 0] = 5.0
+        assert not condition.evaluate(measurements)
+
+
+class TestRangeMonitor:
+    def test_satisfied_flags(self):
+        monitor = RangeMonitor(channel=0, low=-1.0, high=1.0)
+        y = np.array([[0.0], [2.0], [-0.5]])
+        np.testing.assert_array_equal(monitor.satisfied(y, DT), [True, False, True])
+
+    def test_symmetric_constructor(self):
+        monitor = RangeMonitor.symmetric(1, 0.2)
+        assert monitor.low == -0.2
+        assert monitor.high == 0.2
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValidationError):
+            RangeMonitor(channel=0, low=1.0, high=-1.0)
+
+    def test_conditions_match_evaluation(self):
+        monitor = RangeMonitor(channel=1, low=-0.5, high=0.7)
+        y = np.array([[0.0, 0.6], [0.0, 0.9]])
+        for k in range(2):
+            conditions = monitor.conditions_at(k, DT)
+            assert len(conditions) == 1
+            assert conditions[0].evaluate(y) == monitor.satisfied(y, DT)[k]
+
+    def test_alarm_and_report(self):
+        monitor = RangeMonitor(channel=0, low=-1.0, high=1.0)
+        y = np.array([[2.0], [0.0]])
+        report = monitor.report(y, DT)
+        assert report.any_alarm
+        assert report.violation_count == 1
+        assert monitor.raises_alarm(y, DT)
+
+
+class TestGradientMonitor:
+    def test_first_sample_vacuous(self):
+        monitor = GradientMonitor(channel=0, max_rate=1.0)
+        y = np.array([[100.0], [100.05]])
+        assert monitor.satisfied(y, DT)[0]
+
+    def test_rate_violation(self):
+        monitor = GradientMonitor(channel=0, max_rate=1.0)
+        y = np.array([[0.0], [0.05], [0.5]])  # second step rate = 4.5 > 1
+        np.testing.assert_array_equal(monitor.satisfied(y, DT), [True, True, False])
+
+    def test_conditions_reference_previous_sample(self):
+        monitor = GradientMonitor(channel=0, max_rate=1.0)
+        assert monitor.conditions_at(0, DT) == []
+        conditions = monitor.conditions_at(3, DT)
+        samples = {sample for condition in conditions for sample, _, _ in condition.terms}
+        assert samples == {2, 3}
+
+    def test_conditions_match_evaluation(self):
+        monitor = GradientMonitor(channel=0, max_rate=2.0)
+        y = np.array([[0.0], [0.1], [0.5]])
+        for k in range(1, 3):
+            conditions = monitor.conditions_at(k, DT)
+            assert all(c.evaluate(y) for c in conditions) == monitor.satisfied(y, DT)[k]
+
+
+class TestRelationMonitor:
+    def test_mismatch_and_satisfaction(self):
+        monitor = RelationMonitor(channel_a=0, channel_b=1, gain=0.1, allowed_diff=0.05)
+        y = np.array([[0.1, 1.0], [0.3, 1.0]])
+        np.testing.assert_allclose(monitor.mismatch(y), [0.0, 0.2])
+        np.testing.assert_array_equal(monitor.satisfied(y, DT), [True, False])
+
+    def test_offset(self):
+        monitor = RelationMonitor(channel_a=0, channel_b=1, gain=1.0, offset=0.5, allowed_diff=0.01)
+        y = np.array([[1.5, 1.0]])
+        assert monitor.satisfied(y, DT)[0]
+
+    def test_conditions_match_evaluation(self):
+        monitor = RelationMonitor(channel_a=0, channel_b=1, gain=2.0, allowed_diff=0.1)
+        y = np.array([[2.05, 1.0], [2.5, 1.0]])
+        for k in range(2):
+            conditions = monitor.conditions_at(k, DT)
+            assert all(c.evaluate(y) for c in conditions) == monitor.satisfied(y, DT)[k]
+
+
+class TestDeadZone:
+    def test_alarm_requires_consecutive_violations(self):
+        inner = RangeMonitor(channel=0, low=-1.0, high=1.0)
+        monitor = DeadZoneMonitor(inner=inner, dead_zone_samples=3)
+        # Two isolated violations: no alarm.
+        y = np.array([[2.0], [0.0], [2.0], [0.0]])
+        assert not monitor.raises_alarm(y, DT)
+        # Three consecutive violations: alarm at the third.
+        y = np.array([[2.0], [2.0], [2.0], [0.0]])
+        np.testing.assert_array_equal(monitor.alarms(y, DT), [False, False, True, False])
+
+    def test_alarm_persists_during_longer_runs(self):
+        inner = RangeMonitor(channel=0, low=-1.0, high=1.0)
+        monitor = DeadZoneMonitor(inner=inner, dead_zone_samples=2)
+        y = np.full((4, 1), 2.0)
+        np.testing.assert_array_equal(monitor.alarms(y, DT), [False, True, True, True])
+
+    def test_satisfied_reports_inner_check(self):
+        inner = RangeMonitor(channel=0, low=-1.0, high=1.0)
+        monitor = DeadZoneMonitor(inner=inner, dead_zone_samples=5)
+        y = np.array([[2.0], [0.0]])
+        np.testing.assert_array_equal(monitor.satisfied(y, DT), [False, True])
+
+    def test_stealth_windows(self):
+        inner = RangeMonitor(channel=0, low=-1.0, high=1.0)
+        monitor = DeadZoneMonitor(inner=inner, dead_zone_samples=3)
+        windows = monitor.stealth_windows(5)
+        assert windows == [(0, 1, 2), (1, 2, 3), (2, 3, 4)]
+        assert monitor.stealth_windows(2) == []
+
+    def test_name_wraps_inner(self):
+        monitor = DeadZoneMonitor(inner=RangeMonitor(channel=0, low=0, high=1, name="r"), dead_zone_samples=2)
+        assert "r" in monitor.name
+
+
+class TestComposite:
+    def _composite(self):
+        return CompositeMonitor(
+            monitors=[
+                DeadZoneMonitor(RangeMonitor(channel=0, low=-1.0, high=1.0), dead_zone_samples=2),
+                GradientMonitor(channel=0, max_rate=5.0),
+            ]
+        )
+
+    def test_satisfied_is_conjunction(self):
+        composite = self._composite()
+        y = np.array([[0.0], [2.0], [0.0]])
+        satisfied = composite.satisfied(y, DT)
+        np.testing.assert_array_equal(satisfied, [True, False, False])  # gradient violated at k=2
+
+    def test_alarm_is_disjunction_with_deadzones(self):
+        composite = self._composite()
+        # Range violated twice consecutively -> dead-zone alarm; gradient alarms instantly.
+        y = np.array([[0.0], [2.0], [2.0]])
+        alarms = composite.alarms(y, DT)
+        assert alarms[1]  # gradient monitor alarms immediately at k=1
+        assert alarms[2]
+
+    def test_empty_composite_never_alarms(self):
+        composite = CompositeMonitor.empty()
+        y = np.ones((5, 2)) * 100
+        assert not composite.raises_alarm(y, DT)
+        assert len(composite) == 0
+
+    def test_conditions_aggregate(self):
+        composite = self._composite()
+        assert len(composite.conditions_at(1, DT)) == 2
+
+    def test_member_helpers(self):
+        composite = self._composite()
+        assert len(composite.dead_zone_members()) == 1
+        assert len(composite.plain_members()) == 1
+        assert len(composite.member_reports(np.zeros((3, 1)), DT)) == 2
+
+    def test_add_chaining(self):
+        composite = CompositeMonitor.empty()
+        composite.add(RangeMonitor(channel=0, low=0, high=1)).add(GradientMonitor(channel=0, max_rate=1))
+        assert len(composite) == 2

@@ -1,0 +1,95 @@
+"""Unit tests for the noise models and batch generators."""
+
+import numpy as np
+import pytest
+
+from repro.noise.generators import noise_matrix, noise_vector_batch
+from repro.noise.models import (
+    BoundedUniformNoise,
+    GaussianNoise,
+    TruncatedGaussianNoise,
+    ZeroNoise,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestZeroNoise:
+    def test_is_zero(self):
+        model = ZeroNoise(3)
+        assert model.dimension == 3
+        np.testing.assert_allclose(model.sample(5), np.zeros((5, 3)))
+
+    def test_sample_one(self):
+        np.testing.assert_allclose(ZeroNoise(2).sample_one(), np.zeros(2))
+
+
+class TestGaussianNoise:
+    def test_shape_and_covariance(self):
+        covariance = np.diag([1.0, 4.0])
+        model = GaussianNoise(covariance)
+        samples = model.sample(20000, rng=0)
+        assert samples.shape == (20000, 2)
+        np.testing.assert_allclose(np.cov(samples.T), covariance, rtol=0.1, atol=0.05)
+
+    def test_from_std(self):
+        model = GaussianNoise.from_std([0.1, 0.2])
+        np.testing.assert_allclose(model.covariance, np.diag([0.01, 0.04]))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            GaussianNoise(np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_reproducible(self):
+        model = GaussianNoise(np.eye(2))
+        np.testing.assert_allclose(model.sample(5, rng=7), model.sample(5, rng=7))
+
+
+class TestBoundedUniform:
+    def test_respects_bounds(self):
+        model = BoundedUniformNoise(bounds=[0.5, 2.0])
+        samples = model.sample(1000, rng=1)
+        assert np.all(np.abs(samples[:, 0]) <= 0.5)
+        assert np.all(np.abs(samples[:, 1]) <= 2.0)
+
+    def test_zero_bound_channel_is_silent(self):
+        model = BoundedUniformNoise(bounds=[0.0, 1.0])
+        samples = model.sample(100, rng=2)
+        np.testing.assert_allclose(samples[:, 0], 0.0)
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ValidationError):
+            BoundedUniformNoise(bounds=[-1.0])
+
+
+class TestTruncatedGaussian:
+    def test_respects_bounds(self):
+        model = TruncatedGaussianNoise(std=[1.0], bounds=[0.5])
+        samples = model.sample(500, rng=3)
+        assert np.all(np.abs(samples) <= 0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            TruncatedGaussianNoise(std=[1.0, 2.0], bounds=[0.5])
+
+
+class TestGenerators:
+    def test_noise_matrix_shape(self):
+        model = BoundedUniformNoise(bounds=[1.0, 1.0])
+        assert noise_matrix(model, 7, rng=0).shape == (7, 2)
+
+    def test_batch_shape_and_reproducibility(self):
+        model = GaussianNoise(np.eye(2))
+        a = noise_vector_batch(model, horizon=5, count=4, seed=11)
+        b = noise_vector_batch(model, horizon=5, count=4, seed=11)
+        assert a.shape == (4, 5, 2)
+        np.testing.assert_allclose(a, b)
+
+    def test_batch_trials_are_independent(self):
+        model = GaussianNoise(np.eye(1))
+        batch = noise_vector_batch(model, horizon=3, count=3, seed=0)
+        assert not np.allclose(batch[0], batch[1])
+
+    def test_bad_count(self):
+        model = ZeroNoise(1)
+        with pytest.raises(ValidationError):
+            noise_vector_batch(model, horizon=3, count=0)

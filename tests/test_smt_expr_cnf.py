@@ -1,0 +1,140 @@
+"""Unit tests for formula construction, evaluation and Tseitin CNF conversion."""
+
+import pytest
+
+from repro.smt.cnf import to_cnf
+from repro.smt.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    BoolVar,
+    Implies,
+    Not,
+    Or,
+    between,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+)
+from repro.smt.linear import RealVar
+from repro.utils.validation import ValidationError
+
+X = RealVar("x")
+Y = RealVar("y")
+
+
+class TestAtoms:
+    def test_le_evaluation(self):
+        atom = le(X, 5)
+        assert atom.evaluate({"x": 4.0})
+        assert atom.evaluate({"x": 5.0})
+        assert not atom.evaluate({"x": 6.0})
+
+    def test_lt_is_strict(self):
+        atom = lt(X, 5)
+        assert not atom.evaluate({"x": 5.0})
+
+    def test_ge_gt(self):
+        assert ge(X, 2).evaluate({"x": 2.0})
+        assert not gt(X, 2).evaluate({"x": 2.0})
+
+    def test_negation_flips(self):
+        atom = le(X, 3)
+        negated = atom.negated()
+        assert negated.strict
+        assert atom.evaluate({"x": 2.0}) != negated.evaluate({"x": 2.0})
+        assert atom.evaluate({"x": 4.0}) != negated.evaluate({"x": 4.0})
+
+    def test_eq_expands_to_conjunction(self):
+        formula = eq(X, 3)
+        assert isinstance(formula, And)
+        assert formula.evaluate({"x": 3.0})
+        assert not formula.evaluate({"x": 3.1})
+
+    def test_between(self):
+        formula = between(X, 1.0, 2.0)
+        assert formula.evaluate({"x": 1.5})
+        assert not formula.evaluate({"x": 2.5})
+        assert between(X, None, 2.0).evaluate({"x": -100})
+        with pytest.raises(ValidationError):
+            between(X, None, None)
+
+    def test_operator_sugar_on_vars(self):
+        atom = X <= 3
+        assert isinstance(atom, Atom)
+        assert (X + Y >= 1).evaluate({"x": 0.6, "y": 0.6})
+
+
+class TestConnectives:
+    def test_and_or_not(self):
+        formula = And(le(X, 5), Or(gt(Y, 0), lt(Y, -10)))
+        assert formula.evaluate({"x": 1.0, "y": 1.0})
+        assert not formula.evaluate({"x": 6.0, "y": 1.0})
+        assert Not(formula).evaluate({"x": 6.0, "y": 1.0})
+
+    def test_implies(self):
+        formula = Implies(gt(X, 0), gt(Y, 0))
+        assert formula.evaluate({"x": -1.0, "y": -5.0})
+        assert formula.evaluate({"x": 1.0, "y": 2.0})
+        assert not formula.evaluate({"x": 1.0, "y": -2.0})
+
+    def test_flattening(self):
+        formula = And(And(le(X, 1), le(Y, 1)), le(X + Y, 1))
+        assert len(formula.operands) == 3
+
+    def test_bool_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+
+    def test_bool_var_needs_assignment(self):
+        b = BoolVar("flag")
+        assert b.evaluate({}, {"flag": True})
+        with pytest.raises(ValidationError):
+            b.evaluate({}, {})
+
+    def test_atom_and_variable_collection(self):
+        formula = And(le(X, 1), Or(gt(Y, 2), BoolVar("b")), le(X, 1))
+        assert len(formula.atoms()) == 2
+        assert formula.real_vars() == {"x", "y"}
+        assert formula.bool_vars() == {"b"}
+
+    def test_operator_overloads(self):
+        formula = (X <= 1) & ((Y >= 2) | (Y <= -2))
+        assert isinstance(formula, And)
+        assert isinstance(~formula, Not)
+
+
+class TestCNF:
+    def test_unit_assertions_for_top_level_conjuncts(self):
+        cnf = to_cnf([And(le(X, 1), le(Y, 2))])
+        # Two atoms, each asserted as a unit clause.
+        assert len(cnf.atom_of_variable) == 2
+        unit_clauses = [clause for clause in cnf.clauses if len(clause) == 1]
+        assert len(unit_clauses) == 2
+
+    def test_disjunction_produces_clause(self):
+        cnf = to_cnf([Or(le(X, 1), le(Y, 2))])
+        assert any(len(clause) >= 2 for clause in cnf.clauses)
+
+    def test_atom_deduplication(self):
+        cnf = to_cnf([le(X, 1), le(X, 1)])
+        assert len(cnf.atom_of_variable) == 1
+
+    def test_false_assertion_gives_empty_clause(self):
+        cnf = to_cnf([FALSE])
+        assert () in cnf.clauses
+
+    def test_true_assertion_is_noop(self):
+        cnf = to_cnf([TRUE])
+        assert cnf.clauses == []
+
+    def test_bool_variables_registered(self):
+        cnf = to_cnf([Or(BoolVar("a"), BoolVar("b"))])
+        assert set(cnf.bool_name_of_variable.values()) == {"a", "b"}
+
+    def test_implication_encoded(self):
+        cnf = to_cnf([Implies(BoolVar("a"), BoolVar("b"))])
+        assert cnf.variable_count >= 3

@@ -1,0 +1,119 @@
+"""Unit and property-based tests for linear expressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.linear import LinearExpr, RealVar
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_from_constant(self):
+        expr = LinearExpr.from_constant(3.0)
+        assert expr.is_constant
+        assert expr.evaluate({}) == 3.0
+
+    def test_from_variable(self):
+        expr = LinearExpr.from_variable("x", 2.0)
+        assert expr.coefficient("x") == 2.0
+        assert expr.variables() == {"x"}
+
+    def test_coerce(self):
+        assert LinearExpr.coerce(5).constant == 5.0
+        assert LinearExpr.coerce(RealVar("y")).coefficient("y") == 1.0
+        expr = LinearExpr.from_variable("x")
+        assert LinearExpr.coerce(expr) is expr
+        with pytest.raises(ValidationError):
+            LinearExpr.coerce("not a number")
+
+    def test_tiny_coefficients_dropped(self):
+        expr = LinearExpr({"x": 1e-20})
+        assert expr.is_constant
+
+
+class TestArithmetic:
+    def test_addition_merges_terms(self):
+        x, y = RealVar("x"), RealVar("y")
+        expr = x + 2 * y + 3 + x
+        assert expr.coefficient("x") == 2.0
+        assert expr.coefficient("y") == 2.0
+        assert expr.constant == 3.0
+
+    def test_subtraction_and_negation(self):
+        x = RealVar("x")
+        expr = 5 - 2 * x
+        assert expr.coefficient("x") == -2.0
+        assert expr.constant == 5.0
+        assert (-expr).constant == -5.0
+
+    def test_scalar_multiplication_and_division(self):
+        x = RealVar("x")
+        expr = (3 * x + 6) / 3
+        assert expr.coefficient("x") == pytest.approx(1.0)
+        assert expr.constant == pytest.approx(2.0)
+
+    def test_nonlinear_rejected(self):
+        x = RealVar("x")
+        with pytest.raises(ValidationError):
+            _ = x.to_linear() * x.to_linear()
+        with pytest.raises(ValidationError):
+            _ = x.to_linear() / 0
+
+    def test_evaluate_missing_variable(self):
+        expr = LinearExpr.from_variable("x")
+        with pytest.raises(ValidationError):
+            expr.evaluate({})
+
+    def test_cancellation_removes_variable(self):
+        x = RealVar("x")
+        expr = x - x
+        assert expr.is_constant
+
+
+@st.composite
+def linear_exprs(draw):
+    names = ["a", "b", "c"]
+    coefficients = {
+        name: draw(st.floats(min_value=-10, max_value=10, allow_nan=False))
+        for name in draw(st.sets(st.sampled_from(names), max_size=3))
+    }
+    constant = draw(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    return LinearExpr(coefficients, constant)
+
+
+_ASSIGNMENT = {"a": 1.7, "b": -0.3, "c": 2.5}
+
+
+class TestAlgebraicProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(linear_exprs(), linear_exprs())
+    def test_addition_commutes(self, left, right):
+        lhs = (left + right).evaluate(_ASSIGNMENT)
+        rhs = (right + left).evaluate(_ASSIGNMENT)
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(linear_exprs(), linear_exprs(), linear_exprs())
+    def test_addition_associates(self, a, b, c):
+        lhs = ((a + b) + c).evaluate(_ASSIGNMENT)
+        rhs = (a + (b + c)).evaluate(_ASSIGNMENT)
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(linear_exprs(), st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_scaling_distributes(self, expr, factor):
+        lhs = (expr * factor).evaluate(_ASSIGNMENT)
+        rhs = factor * expr.evaluate(_ASSIGNMENT)
+        assert lhs == pytest.approx(rhs, abs=1e-7)
+
+    @settings(max_examples=100, deadline=None)
+    @given(linear_exprs())
+    def test_subtracting_self_is_zero(self, expr):
+        assert (expr - expr).evaluate(_ASSIGNMENT) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(linear_exprs())
+    def test_canonical_key_is_stable(self, expr):
+        assert expr.canonical_key() == LinearExpr(dict(expr.coefficients), expr.constant).canonical_key()

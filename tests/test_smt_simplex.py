@@ -1,0 +1,149 @@
+"""Unit and property-based tests for the general-simplex LRA solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.smt.linear import LinearExpr
+from repro.smt.simplex import DeltaNumber, LinearConstraint, SimplexSolver
+
+
+class TestDeltaNumber:
+    def test_ordering_on_real_part(self):
+        assert DeltaNumber(1.0).less_than(DeltaNumber(2.0))
+        assert DeltaNumber(2.0).greater_than(DeltaNumber(1.0))
+
+    def test_delta_breaks_ties(self):
+        assert DeltaNumber(1.0, -1.0).less_than(DeltaNumber(1.0, 0.0))
+        assert not DeltaNumber(1.0, 0.0).less_than(DeltaNumber(1.0, -1.0))
+
+    def test_arithmetic(self):
+        a = DeltaNumber(1.0, 1.0) + DeltaNumber(2.0, -0.5)
+        assert a.real == 3.0 and a.delta == 0.5
+        b = a.scale(2.0)
+        assert b.real == 6.0 and b.delta == 1.0
+
+    def test_concretise(self):
+        assert DeltaNumber(1.0, -1.0).concretise(1e-3) == pytest.approx(0.999)
+
+    def test_bound_constructors(self):
+        assert DeltaNumber.of(2.0, strict_upper=True).delta == -1.0
+        assert DeltaNumber.of(2.0, strict_lower=True).delta == 1.0
+        assert DeltaNumber.of(2.0).delta == 0.0
+
+
+class TestSimplexBasics:
+    def test_empty_is_feasible(self):
+        assert SimplexSolver().check().feasible
+
+    def test_single_bound(self):
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0}, -5.0))  # x <= 5
+        result = solver.check()
+        assert result.feasible
+        assert result.model["x"] <= 5.0 + 1e-9
+
+    def test_contradictory_bounds(self):
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0}, -1.0))   # x <= 1
+        solver.add_expression(LinearExpr({"x": -1.0}, 2.0))   # x >= 2
+        result = solver.check()
+        assert not result.feasible
+        assert result.conflict
+
+    def test_strict_inequality_feasible(self):
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0}, -1.0), strict=True)   # x < 1
+        solver.add_expression(LinearExpr({"x": -1.0}, 0.999), strict=True)  # x > 0.999
+        result = solver.check()
+        assert result.feasible
+        assert 0.999 < result.model["x"] < 1.0
+
+    def test_strict_inequality_infeasible(self):
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0}, -1.0), strict=True)   # x < 1
+        solver.add_expression(LinearExpr({"x": -1.0}, 1.0), strict=True)   # x > 1
+        assert not solver.check().feasible
+
+    def test_strict_vs_nonstrict_boundary(self):
+        # x <= 1 and x >= 1 is feasible (x = 1); x < 1 and x >= 1 is not.
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0}, -1.0))
+        solver.add_expression(LinearExpr({"x": -1.0}, 1.0))
+        assert solver.check().feasible
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0}, -1.0), strict=True)
+        solver.add_expression(LinearExpr({"x": -1.0}, 1.0))
+        assert not solver.check().feasible
+
+    def test_multivariable_system(self):
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0, "y": 1.0}, -4.0))    # x + y <= 4
+        solver.add_expression(LinearExpr({"x": -1.0}, 1.0))               # x >= 1
+        solver.add_expression(LinearExpr({"y": -1.0}, 2.0))               # y >= 2
+        result = solver.check()
+        assert result.feasible
+        model = result.model
+        assert model["x"] >= 1 - 1e-9 and model["y"] >= 2 - 1e-9
+        assert model["x"] + model["y"] <= 4 + 1e-9
+
+    def test_ground_constraints(self):
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({}, -1.0))  # -1 <= 0 (true)
+        assert solver.check().feasible
+        solver.add_expression(LinearExpr({}, 1.0))   # 1 <= 0 (false)
+        assert not solver.check().feasible
+
+    def test_clear(self):
+        solver = SimplexSolver()
+        solver.add_expression(LinearExpr({"x": 1.0}, 1.0))
+        solver.clear()
+        assert solver.constraints == []
+
+    def test_constraint_holds_helper(self):
+        constraint = LinearConstraint(LinearExpr({"x": 1.0}, -1.0), strict=False)
+        assert constraint.holds({"x": 0.5})
+        assert not constraint.holds({"x": 2.0})
+        assert constraint.margin({"x": 0.25}) == pytest.approx(0.75)
+
+
+@st.composite
+def random_lp(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=4))
+    n_cons = draw(st.integers(min_value=1, max_value=8))
+    elements = st.floats(min_value=-5, max_value=5, allow_nan=False)
+    # Coefficients are rounded to a coarse grid so that feasibility never
+    # hinges on sub-tolerance knife-edge values where HiGHS (which works with
+    # feasibility tolerances) and the exact simplex legitimately disagree.
+    A = np.array(
+        [[round(draw(elements), 2) for _ in range(n_vars)] for _ in range(n_cons)]
+    )
+    b = np.array([round(draw(elements), 2) for _ in range(n_cons)])
+    return A, b
+
+
+class TestAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_feasibility_matches_linprog(self, problem):
+        A, b = problem
+        n_cons, n_vars = A.shape
+        solver = SimplexSolver()
+        for i in range(n_cons):
+            if np.max(np.abs(A[i])) < 1e-6:
+                # Degenerate all-zero row: numerically ambiguous for both
+                # solvers, so skip it (and relax it for the reference too).
+                A[i] = 0.0
+                b[i] = abs(b[i])
+            coefficients = {f"v{j}": A[i, j] for j in range(n_vars) if abs(A[i, j]) > 1e-12}
+            solver.add_expression(LinearExpr(coefficients, -float(b[i])))
+        result = solver.check()
+        reference = linprog(
+            np.zeros(n_vars), A_ub=A, b_ub=b, bounds=[(None, None)] * n_vars, method="highs"
+        )
+        assert result.feasible == (reference.status == 0)
+        if result.feasible:
+            values = np.array([result.model.get(f"v{j}", 0.0) for j in range(n_vars)])
+            assert np.all(A @ values - b <= 1e-6)

@@ -1,0 +1,146 @@
+"""Unit and property-based tests for the DPLL(T) solver facade."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.expr import And, BoolVar, Implies, Not, Or, ge, gt, le, lt
+from repro.smt.linear import RealVar
+from repro.smt.solver import Solver
+from repro.utils.results import SolveStatus
+from repro.utils.validation import ValidationError
+
+X, Y, Z = RealVar("x"), RealVar("y"), RealVar("z")
+
+
+def check(*formulas):
+    solver = Solver()
+    solver.add(*formulas)
+    return solver.check()
+
+
+class TestBasicQueries:
+    def test_simple_sat(self):
+        result = check(ge(X, 1), le(X, 2))
+        assert result.is_sat
+        assert 1 - 1e-9 <= result.value(X) <= 2 + 1e-9
+
+    def test_simple_unsat(self):
+        result = check(ge(X, 3), le(X, 2))
+        assert result.status is SolveStatus.UNSAT
+
+    def test_strict_boundary(self):
+        assert check(lt(X, 1), gt(X, 1)).status is SolveStatus.UNSAT
+        assert check(le(X, 1), ge(X, 1)).is_sat
+
+    def test_disjunction_picks_feasible_branch(self):
+        result = check(Or(And(ge(X, 10), le(X, 11)), And(ge(X, -1), le(X, 0))), le(X, 5))
+        assert result.is_sat
+        assert -1 - 1e-9 <= result.value(X) <= 0 + 1e-9
+
+    def test_nested_boolean_structure(self):
+        formula = And(
+            Or(ge(X, 5), ge(Y, 5)),
+            Or(le(X, 1), le(Y, 1)),
+            ge(X, 0),
+            ge(Y, 0),
+        )
+        result = check(formula)
+        assert result.is_sat
+        x, y = result.value(X), result.value(Y)
+        assert (x >= 5 - 1e-9) or (y >= 5 - 1e-9)
+        assert (x <= 1 + 1e-9) or (y <= 1 + 1e-9)
+
+    def test_unsat_through_boolean_reasoning(self):
+        formula = And(
+            Or(ge(X, 5), ge(Y, 5)),
+            le(X, 1),
+            le(Y, 1),
+        )
+        assert check(formula).status is SolveStatus.UNSAT
+
+    def test_implication(self):
+        result = check(Implies(gt(X, 0), gt(Y, 10)), ge(X, 1), le(Y, 20))
+        assert result.is_sat
+        assert result.value(Y) > 10 - 1e-9
+
+    def test_pure_boolean(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        result = check(Or(a, b), Not(a))
+        assert result.is_sat
+        assert result.bool_model["b"] is True
+        assert check(a, Not(a)).status is SolveStatus.UNSAT
+
+    def test_three_variable_chain(self):
+        result = check(le(X - Y, 0), le(Y - Z, 0), le(Z, 5), ge(X, 4))
+        assert result.is_sat
+        assert result.value(X) <= result.value(Y) + 1e-7 <= result.value(Z) + 2e-7
+
+    def test_model_satisfies_all_assertions(self):
+        formulas = [Or(ge(X, 3), le(Y, -3)), le(X + Y, 1), ge(Y, -10)]
+        result = check(*formulas)
+        assert result.is_sat
+        assignment = {"x": result.value(X), "y": result.value(Y)}
+        for formula in formulas:
+            assert formula.evaluate(assignment)
+
+
+class TestSolverFacade:
+    def test_reset(self):
+        solver = Solver()
+        solver.add(ge(X, 3), le(X, 2))
+        assert solver.check().status is SolveStatus.UNSAT
+        solver.reset()
+        solver.add(ge(X, 3))
+        assert solver.check().is_sat
+
+    def test_add_rejects_non_formula(self):
+        solver = Solver()
+        with pytest.raises(ValidationError):
+            solver.add("x > 1")
+
+    def test_statistics_present(self):
+        result = check(ge(X, 1), Or(le(Y, 0), ge(Y, 5)))
+        assert "decisions" in result.statistics
+        assert result.statistics["clauses"] > 0
+
+    def test_unconstrained_variable_defaults_to_zero(self):
+        result = check(Or(ge(X, 1), ge(Y, 1)))
+        assert result.is_sat
+        # Whichever variable is not mentioned in the satisfied branch defaults to 0.
+        assert set(result.real_model) == {"x", "y"}
+
+    def test_lazy_theory_mode(self):
+        solver = Solver(theory_check="lazy")
+        solver.add(Or(ge(X, 5), le(X, -5)), ge(X, 0))
+        result = solver.check()
+        assert result.is_sat
+        assert result.value(X) >= 5 - 1e-9
+
+
+@st.composite
+def interval_constraints(draw):
+    """Random conjunctions of interval constraints over three variables."""
+    constraints = []
+    bounds = {}
+    for name, var in (("x", X), ("y", Y), ("z", Z)):
+        low = draw(st.floats(min_value=-10, max_value=10, allow_nan=False))
+        width = draw(st.floats(min_value=-5, max_value=5, allow_nan=False))
+        high = low + width
+        constraints.append(ge(var, low))
+        constraints.append(le(var, high))
+        bounds[name] = (low, high)
+    return constraints, bounds
+
+
+class TestPropertySolver:
+    @settings(max_examples=40, deadline=None)
+    @given(interval_constraints())
+    def test_interval_conjunction_sat_iff_all_nonempty(self, case):
+        constraints, bounds = case
+        result = check(*constraints)
+        expected_sat = all(low <= high for low, high in bounds.values())
+        assert result.is_sat == expected_sat
+        if expected_sat:
+            for name, (low, high) in bounds.items():
+                assert low - 1e-6 <= result.real_model[name] <= high + 1e-6
