@@ -16,19 +16,24 @@ import time
 
 from benchmarks.conftest import run_once
 
-from repro import PivotThresholdSynthesizer, StepwiseThresholdSynthesizer, synthesize_attack
+from repro import (
+    PivotThresholdSynthesizer,
+    StepwiseThresholdSynthesizer,
+    available_backends,
+    get_case_study,
+    synthesize_attack,
+)
 from repro.falsification.lp_backend import LPAttackBackend
-from repro.systems import build_dcmotor_case_study, build_trajectory_case_study
 from repro.utils.results import SolveStatus
 
 
 def test_backend_ablation(benchmark):
-    """All backends agree on the verdict; runtimes differ by orders of magnitude."""
-    problem = build_dcmotor_case_study(horizon=10).problem
+    """All backends agree on the verdict; timings are reported informationally only."""
+    problem = get_case_study("dcmotor", horizon=10).problem
 
     def run_all():
         rows = {}
-        for backend in ("lp", "smt", "optimizer"):
+        for backend in available_backends():
             start = time.monotonic()
             result = synthesize_attack(problem, threshold=None, backend=backend)
             rows[backend] = (result.status, time.monotonic() - start, result.verified)
@@ -38,20 +43,23 @@ def test_backend_ablation(benchmark):
 
     print("\n--- Backend ablation (DC motor, T = 10, no residue detector)")
     print(f"{'backend':10s} {'verdict':>9s} {'verified':>9s} {'time [s]':>10s}")
-    for backend, (status, elapsed, verified) in rows.items():
+    for backend, (status, elapsed, verified) in sorted(rows.items()):
         print(f"{backend:10s} {status.value:>9s} {str(verified):>9s} {elapsed:10.3f}")
 
+    # Verdict agreement: both complete backends prove the loop attackable,
+    # and every found attack simulates to a genuine stealthy violation.
     assert rows["lp"][0] is SolveStatus.SAT
     assert rows["smt"][0] is SolveStatus.SAT
+    assert rows["lp"][2] and rows["smt"][2]
     # The optimizer is incomplete: it either finds a (verified) attack or gives up.
     assert rows["optimizer"][0] in (SolveStatus.SAT, SolveStatus.UNKNOWN)
-    # The LP backend is the fastest of the complete ones.
-    assert rows["lp"][1] <= rows["smt"][1]
+    if rows["optimizer"][0] is SolveStatus.SAT:
+        assert rows["optimizer"][2]
 
 
 def test_counterexample_quality_ablation(benchmark):
     """Max-stealth-margin counterexamples make Algorithm 2 converge in far fewer rounds."""
-    problem = build_trajectory_case_study().problem
+    problem = get_case_study("trajectory").problem
 
     def run_both():
         smart = PivotThresholdSynthesizer(
@@ -72,7 +80,7 @@ def test_counterexample_quality_ablation(benchmark):
 
 def test_refinement_rule_ablation(benchmark):
     """Pivot-rule and step-rule variants still converge on the trajectory system."""
-    problem = build_trajectory_case_study().problem
+    problem = get_case_study("trajectory").problem
 
     def run_all():
         rows = {}

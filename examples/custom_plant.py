@@ -8,7 +8,9 @@ their own system rather than a packaged benchmark:
 2. discretise it and close the loop (LQR + Kalman filter),
 3. state the performance criterion and the plant's existing monitors,
 4. bundle everything into a :class:`repro.SynthesisProblem`,
-5. run the end-to-end :class:`repro.SynthesisPipeline`.
+5. run the end-to-end workflow with :func:`repro.run_pipeline` driven by
+   declarative :class:`repro.SynthesisConfig` / :class:`repro.FARConfig`
+   objects.
 
 The plant here is a two-zone thermal process (server room + adjacent zone)
 whose temperature telemetry travels over an IP network and can be falsified.
@@ -26,13 +28,15 @@ from repro import (
     AttackChannelMask,
     CompositeMonitor,
     DeadZoneMonitor,
+    FARConfig,
     GradientMonitor,
     RangeMonitor,
     ReachSetCriterion,
     StateSpace,
-    SynthesisPipeline,
+    SynthesisConfig,
     SynthesisProblem,
     discretize,
+    run_pipeline,
 )
 from repro.systems.base import design_closed_loop
 
@@ -104,14 +108,13 @@ def main() -> None:
     problem = build_thermal_problem()
     print(f"custom plant: {problem.system.plant!r}")
 
-    pipeline = SynthesisPipeline(
-        problem=problem,
-        backend="lp",
+    synthesis = SynthesisConfig(
         algorithms=("pivot", "stepwise", "static"),
-        far_count=300,
+        backend="lp",
         min_threshold=0.5,
     )
-    report = pipeline.run()
+    far = FARConfig(count=300, seed=0)
+    report = run_pipeline(problem, synthesis, far)
 
     print(f"\nexisting monitors bypassable: {report.is_vulnerable}")
     print("\nper-algorithm summary:")

@@ -24,15 +24,17 @@ from repro import (
     FalseAlarmEvaluator,
     StaticThresholdSynthesizer,
     StepwiseThresholdSynthesizer,
-    build_dcmotor_case_study,
+    available_backends,
+    get_case_study,
     synthesize_attack,
 )
 
 
 def main() -> None:
-    case = build_dcmotor_case_study()
+    case = get_case_study("dcmotor")
     problem = case.problem
     print(f"case study      : {case.name}")
+    print(f"solver backends : {', '.join(available_backends())}")
     print(f"plant           : {problem.system.plant!r}")
     print(f"analysis horizon: {problem.horizon} samples")
 

@@ -4,19 +4,40 @@ A from-scratch Python reproduction of Koley et al., DATE 2020: residue-based
 attack detectors with formally synthesized variable thresholds for LTI
 control loops under false-data-injection attacks.
 
-Quick start::
+Quick start (one problem)::
 
-    from repro import build_vsc_case_study, synthesize_attack, PivotThresholdSynthesizer
+    from repro import SynthesisConfig, get_case_study, run_pipeline
 
-    case = build_vsc_case_study()
-    vulnerability = synthesize_attack(case.problem)          # Algorithm 1
-    result = PivotThresholdSynthesizer().synthesize(case.problem)   # Algorithm 2
-    print(result.threshold.values)
+    case = get_case_study("vsc")
+    report = run_pipeline(case.problem, SynthesisConfig(algorithms=("pivot",)))
+    print(report.summary_rows())
+
+Quick start (a sweep)::
+
+    from repro import ExperimentSpec, run_experiments
+
+    spec = ExperimentSpec(
+        case_studies=("dcmotor", "trajectory"),
+        backends=("lp", "smt"),
+        algorithms=("pivot", "static"),
+    )
+    result = run_experiments(spec, workers=4)
+    print(result.to_json())
+
+Every component is resolved by name through the plugin registries in
+:mod:`repro.registry` (``available_backends()``, ``available_case_studies()``,
+...); register your own backends, synthesizers, detectors, noise models and
+case studies there and sweep them with the same API.
 
 Subpackages
 -----------
+``repro.api``
+    Experiment API v2: declarative configs (``SynthesisConfig``, ``FARConfig``,
+    ``ExperimentSpec``), ``run_pipeline`` and the ``BatchRunner`` sweep engine.
+``repro.registry``
+    The shared plugin registries behind every string-resolved component name.
 ``repro.core``
-    Algorithms 1-3, the static baseline, FAR evaluation, the end-to-end pipeline.
+    Algorithms 1-3, the static baseline, FAR evaluation, the legacy pipeline shim.
 ``repro.lti``, ``repro.estimation``, ``repro.control``
     The plant / estimator / controller substrate.
 ``repro.attacks``, ``repro.monitors``, ``repro.detectors``, ``repro.noise``
@@ -43,6 +64,34 @@ from repro.core import (
     SynthesisPipeline,
 )
 from repro.core.synthesis_result import ThresholdSynthesisResult
+from repro.api import (
+    SynthesisConfig,
+    FARConfig,
+    ExperimentSpec,
+    ExperimentUnit,
+    PipelineReport,
+    run_pipeline,
+    BatchRunner,
+    ExperimentResult,
+    ExperimentRow,
+    run_experiments,
+)
+from repro.registry import (
+    Registry,
+    RegistryError,
+    register,
+    get_registry,
+    available_backends,
+    available_synthesizers,
+    available_detectors,
+    available_noise_models,
+    available_case_studies,
+    get_case_study,
+    get_noise_model,
+    get_detector,
+    get_synthesizer,
+)
+from repro.falsification.registry import get_backend
 from repro.detectors import ThresholdVector, ResidueDetector, ChiSquareDetector, CusumDetector
 from repro.attacks import FDIAttack, AttackChannelMask
 from repro.lti import StateSpace, ClosedLoopSystem, SimulationOptions, simulate_closed_loop, discretize
@@ -64,9 +113,36 @@ from repro.systems import (
 )
 from repro.utils.results import SolveStatus
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # Experiment API v2
+    "SynthesisConfig",
+    "FARConfig",
+    "ExperimentSpec",
+    "ExperimentUnit",
+    "PipelineReport",
+    "run_pipeline",
+    "BatchRunner",
+    "ExperimentResult",
+    "ExperimentRow",
+    "run_experiments",
+    # registries
+    "Registry",
+    "RegistryError",
+    "register",
+    "get_registry",
+    "available_backends",
+    "available_synthesizers",
+    "available_detectors",
+    "available_noise_models",
+    "available_case_studies",
+    "get_backend",
+    "get_case_study",
+    "get_noise_model",
+    "get_detector",
+    "get_synthesizer",
+    # core algorithms
     "SynthesisProblem",
     "ReachSetCriterion",
     "FractionOfTargetCriterion",
@@ -81,6 +157,7 @@ __all__ = [
     "ThresholdSynthesisResult",
     "FalseAlarmEvaluator",
     "SynthesisPipeline",
+    # detectors / attacks / substrate
     "ThresholdVector",
     "ResidueDetector",
     "ChiSquareDetector",
@@ -97,6 +174,7 @@ __all__ = [
     "GradientMonitor",
     "RelationMonitor",
     "DeadZoneMonitor",
+    # case studies
     "build_vsc_case_study",
     "build_trajectory_case_study",
     "build_dcmotor_case_study",

@@ -1,0 +1,34 @@
+"""Experiment API v2: declarative configs, config-driven execution, batch sweeps.
+
+This package is the recommended entry point for running the paper's workflow
+at any scale:
+
+* :class:`~repro.api.config.SynthesisConfig` / :class:`~repro.api.config.FARConfig`
+  — JSON-round-trippable descriptions of one synthesis run and one FAR study;
+* :func:`~repro.api.execute.run_pipeline` — execute the full workflow
+  (vulnerability check → threshold synthesis → FAR) on one problem;
+* :class:`~repro.api.config.ExperimentSpec` +
+  :func:`~repro.api.runner.run_experiments` — sweep whole grids of
+  case studies × backends × algorithms, serially or with multiprocessing
+  fan-out, into a sorted :class:`~repro.api.runner.ExperimentResult` table.
+
+Every component name is resolved through :mod:`repro.registry`, so anything a
+downstream user registers there is sweepable here with no further plumbing.
+"""
+
+from repro.api.config import ExperimentSpec, ExperimentUnit, FARConfig, SynthesisConfig
+from repro.api.execute import PipelineReport, run_pipeline
+from repro.api.runner import BatchRunner, ExperimentResult, ExperimentRow, run_experiments
+
+__all__ = [
+    "SynthesisConfig",
+    "FARConfig",
+    "ExperimentSpec",
+    "ExperimentUnit",
+    "PipelineReport",
+    "run_pipeline",
+    "BatchRunner",
+    "ExperimentResult",
+    "ExperimentRow",
+    "run_experiments",
+]

@@ -1,0 +1,440 @@
+"""Declarative, JSON-serializable experiment configuration objects.
+
+Three dataclasses replace the kwargs plumbing of the original
+:class:`~repro.core.pipeline.SynthesisPipeline`:
+
+* :class:`SynthesisConfig` — which algorithms to run, on which backend, with
+  which refinement knobs;
+* :class:`FARConfig` — how to build the benign-noise population for the
+  false-alarm-rate study;
+* :class:`ExperimentSpec` — a full sweep grid (case studies × backends ×
+  algorithms) plus the shared synthesis/FAR settings, the input of
+  :func:`repro.api.runner.run_experiments`.
+
+Every config round-trips losslessly through ``to_dict()``/``from_dict()``
+(and ``to_json()``/``from_json()`` for :class:`ExperimentSpec`), so sweeps
+can be stored in version control, shipped to worker processes, and rebuilt
+anywhere.  All component references are *names* resolved through the shared
+registries in :mod:`repro.registry`, which keeps the configs plain data and
+lets downstream users sweep their own registered components.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.registry import BACKENDS, CASE_STUDIES, NOISE_MODELS, SYNTHESIZERS
+from repro.utils.validation import ValidationError
+
+
+def _constructor_params(factory) -> tuple[set[str], bool]:
+    """Parameter names accepted by ``factory`` and whether it takes ``**kwargs``."""
+    if dataclasses.is_dataclass(factory):
+        return {f.name for f in dataclasses.fields(factory)}, False
+    signature = inspect.signature(factory)
+    accepts_var = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in signature.parameters.values()
+    )
+    names = {
+        name
+        for name, p in signature.parameters.items()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    return names, accepts_var
+
+
+def _filtered_kwargs(factory, kwargs: dict) -> dict:
+    """Drop kwargs the factory does not accept (synthesizers vary in knobs)."""
+    supported, accepts_var = _constructor_params(factory)
+    if accepts_var:
+        return dict(kwargs)
+    return {key: value for key, value in kwargs.items() if key in supported}
+
+
+def _name_tuple(label: str, values) -> tuple[str, ...]:
+    if isinstance(values, str):
+        values = (values,)
+    result = tuple(str(value) for value in values)
+    if not result:
+        raise ValidationError(f"{label} must name at least one entry")
+    return result
+
+
+@dataclass
+class SynthesisConfig:
+    """Declarative description of one threshold-synthesis run.
+
+    Parameters
+    ----------
+    algorithms:
+        Synthesizer names from :data:`repro.registry.SYNTHESIZERS`
+        (built-ins: ``"pivot"``, ``"stepwise"``, ``"static"``).
+    backend:
+        Backend name from :data:`repro.registry.BACKENDS`.
+    max_rounds:
+        Safety cap on Algorithm 1 calls per synthesizer.
+    min_threshold:
+        Floor below which thresholds are never placed (ignored by
+        synthesizers that do not take it, e.g. the static baseline).
+    time_budget_per_call:
+        Optional per-call wall-clock budget in seconds.
+    backend_options:
+        Constructor kwargs for the backend (e.g. ``{"margin_mode": "none"}``).
+    algorithm_options:
+        Per-algorithm constructor overrides, keyed by algorithm name
+        (e.g. ``{"pivot": {"pivot_rule": "first-violation"}}``).
+    """
+
+    algorithms: tuple[str, ...] = ("pivot", "stepwise", "static")
+    backend: str = "lp"
+    max_rounds: int = 500
+    min_threshold: float = 0.0
+    time_budget_per_call: float | None = None
+    backend_options: dict = field(default_factory=dict)
+    algorithm_options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.algorithms = _name_tuple("algorithms", self.algorithms)
+        unknown = set(self.algorithms) - set(SYNTHESIZERS.available())
+        if unknown:
+            raise ValidationError(
+                f"unknown algorithms {sorted(unknown)}; "
+                f"available: {', '.join(SYNTHESIZERS.available())}"
+            )
+        self.backend = str(self.backend)
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(BACKENDS.available())}"
+            )
+        unknown_options = set(self.algorithm_options) - set(self.algorithms)
+        if unknown_options:
+            raise ValidationError(
+                f"algorithm_options given for algorithms not in the run: "
+                f"{sorted(unknown_options)}"
+            )
+        self.max_rounds = int(self.max_rounds)
+        self.min_threshold = float(self.min_threshold)
+
+    # ------------------------------------------------------------------
+    def build_backend(self):
+        """Instantiate the configured backend."""
+        return BACKENDS.create(self.backend, **self.backend_options)
+
+    def build_synthesizer(self, name: str, backend=None):
+        """Instantiate the synthesizer registered under ``name``.
+
+        ``backend`` (an instance) overrides the configured backend name so
+        one solver instance can be shared across algorithms.  Only the
+        *shared* config knobs are dropped when a synthesizer does not accept
+        them (the static baseline has no ``min_threshold``, for instance);
+        explicit ``algorithm_options`` entries are passed through unfiltered
+        so a misspelled option fails loudly instead of being ignored.
+        """
+        factory = SYNTHESIZERS.get(name)
+        shared = {
+            "backend": backend if backend is not None else self.backend,
+            "max_rounds": self.max_rounds,
+            "min_threshold": self.min_threshold,
+            "time_budget_per_call": self.time_budget_per_call,
+        }
+        kwargs = _filtered_kwargs(factory, shared)
+        kwargs.update(self.algorithm_options.get(name, {}))
+        return factory(**kwargs)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "algorithms": list(self.algorithms),
+            "backend": self.backend,
+            "max_rounds": self.max_rounds,
+            "min_threshold": self.min_threshold,
+            "time_budget_per_call": self.time_budget_per_call,
+            "backend_options": dict(self.backend_options),
+            "algorithm_options": {k: dict(v) for k, v in self.algorithm_options.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthesisConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        return cls(**_checked_fields(cls, data))
+
+
+@dataclass
+class FARConfig:
+    """Declarative description of one false-alarm-rate study.
+
+    Parameters
+    ----------
+    count:
+        Number of benign noise vectors to draw (0 disables the study).
+    seed:
+        RNG seed for the population.
+    noise_model:
+        Optional noise-model name from :data:`repro.registry.NOISE_MODELS`;
+        ``None`` uses the evaluator's default (bounded uniform noise at
+        ``noise_scale`` sigma of the plant's measurement noise).
+    noise_options:
+        Constructor kwargs for the named noise model (e.g. ``{"bounds":
+        [0.01, 0.02]}``).
+    noise_scale:
+        Sigma multiple for the default noise model (ignored when
+        ``noise_model`` is given).
+    include_process_noise / filter_pfc / filter_mdc:
+        Forwarded to :class:`~repro.core.far.FalseAlarmEvaluator`.
+    initial_state_spread:
+        Optional per-state half-widths of the initial-state box (list of
+        floats, one per plant state).
+    """
+
+    count: int = 200
+    seed: int | None = 0
+    noise_model: str | None = None
+    noise_options: dict = field(default_factory=dict)
+    noise_scale: float = 1.0
+    include_process_noise: bool = False
+    filter_pfc: bool = True
+    filter_mdc: bool = True
+    initial_state_spread: list[float] | None = None
+
+    def __post_init__(self) -> None:
+        self.count = int(self.count)
+        if self.count < 0:
+            raise ValidationError("count must be non-negative")
+        if self.noise_model is not None:
+            self.noise_model = str(self.noise_model)
+            if self.noise_model not in NOISE_MODELS:
+                raise ValidationError(
+                    f"unknown noise model {self.noise_model!r}; "
+                    f"available: {', '.join(NOISE_MODELS.available())}"
+                )
+        if self.initial_state_spread is not None:
+            self.initial_state_spread = [
+                float(v) for v in np.asarray(self.initial_state_spread, dtype=float).reshape(-1)
+            ]
+
+    # ------------------------------------------------------------------
+    def build_evaluator(self, problem, noise_model=None):
+        """Construct the :class:`~repro.core.far.FalseAlarmEvaluator` for ``problem``.
+
+        ``noise_model`` (an instance) overrides the declarative settings; it
+        is the escape hatch the :class:`~repro.core.pipeline.SynthesisPipeline`
+        compat shim uses for caller-supplied model objects.
+        """
+        from repro.core.far import FalseAlarmEvaluator
+
+        noise = noise_model
+        if noise is None and self.noise_model is not None:
+            noise = NOISE_MODELS.create(self.noise_model, **self.noise_options)
+        if noise is None and self.noise_scale != 1.0:
+            noise = FalseAlarmEvaluator.default_noise_model(problem, scale=self.noise_scale)
+        spread = None
+        if self.initial_state_spread is not None:
+            spread = np.asarray(self.initial_state_spread, dtype=float)
+        return FalseAlarmEvaluator(
+            problem,
+            noise_model=noise,
+            count=self.count,
+            seed=self.seed,
+            include_process_noise=self.include_process_noise,
+            filter_pfc=self.filter_pfc,
+            filter_mdc=self.filter_mdc,
+            initial_state_spread=spread,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "count": self.count,
+            "seed": self.seed,
+            "noise_model": self.noise_model,
+            "noise_options": dict(self.noise_options),
+            "noise_scale": self.noise_scale,
+            "include_process_noise": self.include_process_noise,
+            "filter_pfc": self.filter_pfc,
+            "filter_mdc": self.filter_mdc,
+            "initial_state_spread": (
+                None if self.initial_state_spread is None else list(self.initial_state_spread)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FARConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        return cls(**_checked_fields(cls, data))
+
+
+@dataclass
+class ExperimentUnit:
+    """One cell of an expanded :class:`ExperimentSpec` grid."""
+
+    case_study: str
+    backend: str
+    algorithm: str
+    case_study_options: dict = field(default_factory=dict)
+    max_rounds: int = 500
+    min_threshold: float = 0.0
+    far: FARConfig | None = None
+
+    @property
+    def label(self) -> str:
+        """Stable ``case/backend/algorithm`` identifier for logs and sorting."""
+        return f"{self.case_study}/{self.backend}/{self.algorithm}"
+
+    def synthesis_config(self) -> SynthesisConfig:
+        """The single-algorithm :class:`SynthesisConfig` this unit executes."""
+        return SynthesisConfig(
+            algorithms=(self.algorithm,),
+            backend=self.backend,
+            max_rounds=self.max_rounds,
+            min_threshold=self.min_threshold,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (used as the multiprocessing payload)."""
+        return {
+            "case_study": self.case_study,
+            "backend": self.backend,
+            "algorithm": self.algorithm,
+            "case_study_options": dict(self.case_study_options),
+            "max_rounds": self.max_rounds,
+            "min_threshold": self.min_threshold,
+            "far": None if self.far is None else self.far.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentUnit":
+        """Rebuild from :meth:`to_dict` output."""
+        data = _checked_fields(cls, data)
+        far = data.get("far")
+        if isinstance(far, dict):
+            data["far"] = FARConfig.from_dict(far)
+        return cls(**data)
+
+
+@dataclass
+class ExperimentSpec:
+    """A declarative sweep over case studies × backends × algorithms.
+
+    Parameters
+    ----------
+    name:
+        Human-readable experiment name (carried into the result table).
+    case_studies / backends / algorithms:
+        The three grid axes, as registry names.
+    case_study_options:
+        Per-case-study builder kwargs, keyed by case-study name
+        (e.g. ``{"dcmotor": {"horizon": 10}}``).
+    max_rounds / min_threshold:
+        Shared synthesis knobs applied to every grid cell.
+    far:
+        Optional :class:`FARConfig` evaluated per cell; ``None`` skips FAR.
+    """
+
+    name: str = "experiment"
+    case_studies: tuple[str, ...] = ("dcmotor",)
+    backends: tuple[str, ...] = ("lp",)
+    algorithms: tuple[str, ...] = ("pivot", "stepwise", "static")
+    case_study_options: dict = field(default_factory=dict)
+    max_rounds: int = 500
+    min_threshold: float = 0.0
+    far: FARConfig | None = None
+
+    def __post_init__(self) -> None:
+        self.name = str(self.name)
+        self.case_studies = _name_tuple("case_studies", self.case_studies)
+        self.backends = _name_tuple("backends", self.backends)
+        self.algorithms = _name_tuple("algorithms", self.algorithms)
+        for label, names, registry in (
+            ("case study", self.case_studies, CASE_STUDIES),
+            ("backend", self.backends, BACKENDS),
+            ("algorithm", self.algorithms, SYNTHESIZERS),
+        ):
+            unknown = set(names) - set(registry.available())
+            if unknown:
+                raise ValidationError(
+                    f"unknown {label} names {sorted(unknown)}; "
+                    f"available: {', '.join(registry.available())}"
+                )
+        unknown_options = set(self.case_study_options) - set(self.case_studies)
+        if unknown_options:
+            raise ValidationError(
+                f"case_study_options given for case studies not in the sweep: "
+                f"{sorted(unknown_options)}"
+            )
+        if isinstance(self.far, dict):
+            self.far = FARConfig.from_dict(self.far)
+        self.max_rounds = int(self.max_rounds)
+        self.min_threshold = float(self.min_threshold)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of grid cells the spec expands to."""
+        return len(self.case_studies) * len(self.backends) * len(self.algorithms)
+
+    def expand(self) -> list[ExperimentUnit]:
+        """The full grid as :class:`ExperimentUnit` cells, in axis order."""
+        units = []
+        for case in self.case_studies:
+            options = dict(self.case_study_options.get(case, {}))
+            for backend in self.backends:
+                for algorithm in self.algorithms:
+                    units.append(
+                        ExperimentUnit(
+                            case_study=case,
+                            backend=backend,
+                            algorithm=algorithm,
+                            case_study_options=options,
+                            max_rounds=self.max_rounds,
+                            min_threshold=self.min_threshold,
+                            far=self.far,
+                        )
+                    )
+        return units
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "name": self.name,
+            "case_studies": list(self.case_studies),
+            "backends": list(self.backends),
+            "algorithms": list(self.algorithms),
+            "case_study_options": {k: dict(v) for k, v in self.case_study_options.items()},
+            "max_rounds": self.max_rounds,
+            "min_threshold": self.min_threshold,
+            "far": None if self.far is None else self.far.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        return cls(**_checked_fields(cls, data))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON string form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def _checked_fields(cls, data: dict) -> dict:
+    """Validate that ``data`` only holds fields of ``cls`` (typo guard)."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValidationError(
+            f"unknown {cls.__name__} fields {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return dict(data)

@@ -1,0 +1,117 @@
+"""Config-driven execution of the paper's end-to-end workflow.
+
+:func:`run_pipeline` is the canonical implementation of the workflow the
+paper evaluates — vulnerability check (Algorithm 1 with no residue
+detector), threshold synthesis per algorithm, FAR study — driven by the
+declarative configs in :mod:`repro.api.config`.  The legacy
+:class:`~repro.core.pipeline.SynthesisPipeline` is a thin adapter over this
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.config import FARConfig, SynthesisConfig
+from repro.core.attack_synthesis import AttackSynthesisResult, synthesize_attack
+from repro.core.far import FalseAlarmStudy
+from repro.core.synthesis_result import ThresholdSynthesisResult
+
+
+@dataclass
+class PipelineReport:
+    """Aggregated output of one end-to-end pipeline run.
+
+    Attributes
+    ----------
+    vulnerability:
+        Algorithm 1 result with no residue detector: does an attack bypass
+        the existing monitors at all?
+    synthesis:
+        Per-algorithm :class:`~repro.core.synthesis_result.ThresholdSynthesisResult`.
+    far_study:
+        FAR comparison over the shared benign population (``None`` when FAR
+        evaluation was skipped).
+    """
+
+    vulnerability: AttackSynthesisResult
+    synthesis: dict[str, ThresholdSynthesisResult] = field(default_factory=dict)
+    far_study: FalseAlarmStudy | None = None
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """True when the plant's own monitors can be bypassed."""
+        return self.vulnerability.found
+
+    def summary_rows(self) -> list[dict]:
+        """Tabular summary, one row per algorithm, sorted by algorithm name.
+
+        The sort makes JSON exports and printed tables reproducible
+        run-to-run regardless of synthesis execution order.
+        """
+        rows = []
+        for name in sorted(self.synthesis):
+            result = self.synthesis[name]
+            row = {
+                "algorithm": name,
+                "rounds": result.rounds,
+                "converged": result.converged,
+                "solver_time_s": round(result.total_solver_time, 3),
+            }
+            if self.far_study is not None and name in self.far_study.rates:
+                row["false_alarm_rate"] = self.far_study.rates[name]
+            rows.append(row)
+        return rows
+
+
+def run_pipeline(
+    problem,
+    synthesis: SynthesisConfig | None = None,
+    far: FARConfig | None = None,
+    *,
+    backend=None,
+    far_noise_model=None,
+) -> PipelineReport:
+    """Run vulnerability check, threshold synthesis and FAR study on ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.problem.SynthesisProblem` instance.
+    synthesis:
+        Declarative synthesis settings (defaults to all three algorithms on
+        the LP backend).
+    far:
+        Declarative FAR settings; ``None`` (or ``count=0``) skips the study.
+    backend:
+        Optional backend *instance* overriding ``synthesis.backend`` — the
+        programmatic escape hatch for pre-configured or caller-supplied
+        solvers.
+    far_noise_model:
+        Optional noise-model *instance* overriding the FAR config's
+        declarative noise settings.
+    """
+    if synthesis is None:
+        synthesis = SynthesisConfig()
+    solver = backend if backend is not None else synthesis.build_backend()
+
+    vulnerability = synthesize_attack(problem, threshold=None, backend=solver)
+    report = PipelineReport(vulnerability=vulnerability)
+
+    for name in synthesis.algorithms:
+        synthesizer = synthesis.build_synthesizer(name, backend=solver)
+        report.synthesis[name] = synthesizer.synthesize(problem)
+
+    if far is not None and far.count > 0 and report.synthesis:
+        detectors = {
+            name: result.threshold
+            for name, result in report.synthesis.items()
+            if result.threshold is not None
+        }
+        if detectors:
+            evaluator = far.build_evaluator(problem, noise_model=far_noise_model)
+            report.far_study = evaluator.evaluate(detectors)
+    return report
+
+
+__all__ = ["PipelineReport", "run_pipeline"]

@@ -1,0 +1,281 @@
+"""Batch execution of :class:`~repro.api.config.ExperimentSpec` sweeps.
+
+:class:`BatchRunner` expands a spec's case-study × backend × algorithm grid
+into :class:`~repro.api.config.ExperimentUnit` cells, groups the cells that
+share a ``(case_study, backend)`` pair into one
+:func:`~repro.api.execute.run_pipeline` call — so the Algorithm 1
+vulnerability check and the Monte-Carlo FAR population are computed once per
+pair instead of once per algorithm — and executes the groups either serially
+(with case studies built once per name) or fanned out over a
+``multiprocessing`` pool.  Each cell yields one :class:`ExperimentRow`;
+failures are captured per row instead of aborting the sweep.  Rows are
+sorted by ``(case_study, backend, algorithm)`` so result tables and JSON
+exports are reproducible run-to-run regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+
+from repro.api.config import ExperimentSpec, ExperimentUnit, FARConfig, SynthesisConfig, _checked_fields
+from repro.api.execute import run_pipeline
+from repro.registry import CASE_STUDIES
+
+
+@dataclass
+class ExperimentRow:
+    """Outcome of one grid cell (all fields JSON-native).
+
+    ``status`` is the final solver verdict (``"sat"``/``"unsat"``/
+    ``"unknown"``) or ``"error"`` when the cell raised; in the latter case
+    ``error`` holds the exception summary and the metric fields stay ``None``.
+    """
+
+    case_study: str
+    backend: str
+    algorithm: str
+    status: str = "unknown"
+    vulnerable: bool | None = None
+    converged: bool | None = None
+    rounds: int | None = None
+    solver_time_s: float | None = None
+    false_alarm_rate: float | None = None
+    error: str | None = None
+
+    @property
+    def sort_key(self) -> tuple[str, str, str]:
+        """The stable ordering key of the result table."""
+        return (self.case_study, self.backend, self.algorithm)
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "case_study": self.case_study,
+            "backend": self.backend,
+            "algorithm": self.algorithm,
+            "status": self.status,
+            "vulnerable": self.vulnerable,
+            "converged": self.converged,
+            "rounds": self.rounds,
+            "solver_time_s": self.solver_time_s,
+            "false_alarm_rate": self.false_alarm_rate,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentRow":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**_checked_fields(cls, data))
+
+
+@dataclass
+class ExperimentResult:
+    """Structured result table of one :func:`run_experiments` call."""
+
+    spec: ExperimentSpec
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    def select(self, **criteria) -> list[ExperimentRow]:
+        """Rows whose fields equal every ``criteria`` entry
+        (e.g. ``result.select(case_study="vsc", algorithm="pivot")``)."""
+        return [
+            row
+            for row in self.rows
+            if all(getattr(row, key) == value for key, value in criteria.items())
+        ]
+
+    def summary_rows(self) -> list[dict]:
+        """One plain dict per row, in the stable sort order."""
+        return [row.to_dict() for row in sorted(self.rows, key=lambda row: row.sort_key)]
+
+    @property
+    def errors(self) -> list[ExperimentRow]:
+        """Rows that failed with an exception."""
+        return [row for row in self.rows if row.error is not None]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {"spec": self.spec.to_dict(), "rows": self.summary_rows()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            rows=[ExperimentRow.from_dict(row) for row in data["rows"]],
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON string form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Group execution (shared by the serial path and the worker processes).
+# ----------------------------------------------------------------------
+def _group_payloads(units: list[ExperimentUnit]) -> list[dict]:
+    """Merge cells sharing ``(case_study, backend)`` into one execution payload.
+
+    One pipeline run per group shares the vulnerability check and the FAR
+    benign population across that group's algorithms.
+    """
+    groups: dict[tuple[str, str], dict] = {}
+    for unit in units:
+        key = (unit.case_study, unit.backend)
+        group = groups.get(key)
+        if group is None:
+            group = unit.to_dict()
+            group["algorithms"] = []
+            del group["algorithm"]
+            groups[key] = group
+        group["algorithms"].append(unit.algorithm)
+    return list(groups.values())
+
+
+def _execute_group(group: dict, case=None) -> list[dict]:
+    """Run one ``(case_study, backend)`` group, one row dict per algorithm.
+
+    Any failure — case-study build, synthesis, FAR — is recorded on every
+    row of the group instead of aborting the sweep.  ``case`` may be a
+    pre-built case study, a cached build exception to re-raise, or ``None``
+    to build from the group's options.
+    """
+    algorithms = list(group["algorithms"])
+    far = group.get("far")
+    try:
+        if isinstance(case, Exception):
+            raise case
+        if case is None:
+            case = CASE_STUDIES.create(group["case_study"], **group["case_study_options"])
+        report = run_pipeline(
+            case.problem,
+            synthesis=SynthesisConfig(
+                algorithms=tuple(algorithms),
+                backend=group["backend"],
+                max_rounds=group["max_rounds"],
+                min_threshold=group["min_threshold"],
+            ),
+            far=FARConfig.from_dict(far) if isinstance(far, dict) else far,
+        )
+    except Exception as exc:  # noqa: BLE001 - one bad group must not kill the sweep
+        error = f"{type(exc).__name__}: {exc}"
+        return [
+            ExperimentRow(
+                case_study=group["case_study"],
+                backend=group["backend"],
+                algorithm=algorithm,
+                status="error",
+                error=error,
+            ).to_dict()
+            for algorithm in algorithms
+        ]
+
+    rows = []
+    for algorithm in algorithms:
+        result = report.synthesis[algorithm]
+        row = ExperimentRow(
+            case_study=group["case_study"],
+            backend=group["backend"],
+            algorithm=algorithm,
+            status=result.status.value,
+            vulnerable=report.is_vulnerable,
+            converged=result.converged,
+            rounds=result.rounds,
+            solver_time_s=round(result.total_solver_time, 3),
+        )
+        if report.far_study is not None:
+            row.false_alarm_rate = report.far_study.rates.get(algorithm)
+        rows.append(row.to_dict())
+    return rows
+
+
+class BatchRunner:
+    """Expand and execute an :class:`~repro.api.config.ExperimentSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The sweep description (an :class:`ExperimentSpec` or its ``to_dict``
+        form).
+    workers:
+        ``None``/``0``/``1`` runs serially in-process (case studies are then
+        built once per name and shared across cells); ``>= 2`` fans the grid
+        out over a ``multiprocessing`` pool of that many workers.
+    """
+
+    def __init__(self, spec: ExperimentSpec | dict, workers: int | None = None):
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        self.spec = spec
+        self.workers = int(workers) if workers else 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute every grid cell and return the sorted result table."""
+        units = self.spec.expand()
+        if self.workers >= 2:
+            rows = self._run_pool(units)
+        else:
+            rows = self._run_serial(units)
+        rows.sort(key=lambda row: row.sort_key)
+        return ExperimentResult(spec=self.spec, rows=rows)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, units: list[ExperimentUnit]) -> list[ExperimentRow]:
+        # Case studies are built once per name; a failing builder is cached
+        # as its exception so it is reported (not retried) for every group.
+        cases: dict[str, object] = {}
+        rows = []
+        for group in _group_payloads(units):
+            name = group["case_study"]
+            if name not in cases:
+                try:
+                    cases[name] = CASE_STUDIES.create(name, **group["case_study_options"])
+                except Exception as exc:  # noqa: BLE001 - recorded per-row below
+                    cases[name] = exc
+            rows.extend(
+                ExperimentRow.from_dict(row)
+                for row in _execute_group(group, case=cases[name])
+            )
+        return rows
+
+    def _run_pool(self, units: list[ExperimentUnit]) -> list[ExperimentRow]:
+        payloads = _group_payloads(units)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=min(self.workers, len(payloads) or 1)) as pool:
+            results = pool.map(_execute_group, payloads)
+        return [ExperimentRow.from_dict(row) for result in results for row in result]
+
+
+def run_experiments(
+    spec: ExperimentSpec | dict, workers: int | None = None
+) -> ExperimentResult:
+    """One-call batch entry point: expand ``spec``, execute it, return the table.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`~repro.api.config.ExperimentSpec` (or its ``to_dict``
+        form) describing the case-study × backend × algorithm grid.
+    workers:
+        Optional ``multiprocessing`` fan-out (see :class:`BatchRunner`).
+    """
+    return BatchRunner(spec, workers=workers).run()

@@ -1,92 +1,59 @@
-"""End-to-end synthesis pipeline.
+"""Legacy end-to-end pipeline — thin adapter over :mod:`repro.api`.
 
-One call runs the whole workflow of the paper's case study:
+:class:`SynthesisPipeline` predates the declarative Experiment API and is
+kept as a backward-compatible shim: its constructor signature is unchanged
+and ``run()`` simply translates the stored kwargs into a
+:class:`~repro.api.config.SynthesisConfig` / :class:`~repro.api.config.FARConfig`
+pair and delegates to :func:`~repro.api.execute.run_pipeline`.
 
-1. check whether the existing monitors already block every stealthy attack
-   (Algorithm 1 with no residue detector),
-2. synthesize variable thresholds with Algorithm 2 (pivot) and Algorithm 3
-   (step-wise), and the provably safe static baseline,
-3. evaluate the false-alarm rate of every synthesized detector over a
-   benign-noise population,
-4. assemble a report comparing rounds, convergence and FAR.
+New code should use :func:`repro.api.run_pipeline` directly (one problem) or
+:func:`repro.api.run_experiments` (sweeps); see the module docstring of
+:mod:`repro.api`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
-from repro.core.attack_synthesis import AttackSynthesisResult, synthesize_attack
-from repro.core.far import FalseAlarmEvaluator, FalseAlarmStudy
-from repro.core.pivot import PivotThresholdSynthesizer
+import numpy as np
+
+from repro.api.config import FARConfig, SynthesisConfig
+from repro.api.execute import PipelineReport, run_pipeline
 from repro.core.problem import SynthesisProblem
-from repro.core.static_synthesis import StaticThresholdSynthesizer
-from repro.core.stepwise import StepwiseThresholdSynthesizer
-from repro.core.synthesis_result import ThresholdSynthesisResult
 from repro.noise.models import NoiseModel
+from repro.registry import SYNTHESIZERS
 from repro.utils.validation import ValidationError
 
+# Deprecated alias kept for external callers; the authoritative name list
+# lives in repro.registry.SYNTHESIZERS.
 _KNOWN_ALGORITHMS = ("pivot", "stepwise", "static")
 
 
 @dataclass
-class PipelineReport:
-    """Aggregated output of a :class:`SynthesisPipeline` run.
-
-    Attributes
-    ----------
-    vulnerability:
-        Algorithm 1 result with no residue detector: does an attack bypass
-        the existing monitors at all?
-    synthesis:
-        Per-algorithm :class:`ThresholdSynthesisResult`.
-    far_study:
-        FAR comparison over the shared benign population (``None`` when FAR
-        evaluation was skipped).
-    """
-
-    vulnerability: AttackSynthesisResult
-    synthesis: dict[str, ThresholdSynthesisResult] = field(default_factory=dict)
-    far_study: FalseAlarmStudy | None = None
-
-    @property
-    def is_vulnerable(self) -> bool:
-        """True when the plant's own monitors can be bypassed."""
-        return self.vulnerability.found
-
-    def summary_rows(self) -> list[dict]:
-        """Tabular summary (one row per algorithm) used by the benchmarks and examples."""
-        rows = []
-        for name, result in self.synthesis.items():
-            row = {
-                "algorithm": name,
-                "rounds": result.rounds,
-                "converged": result.converged,
-                "solver_time_s": round(result.total_solver_time, 3),
-            }
-            if self.far_study is not None and name in self.far_study.rates:
-                row["false_alarm_rate"] = self.far_study.rates[name]
-            rows.append(row)
-        return rows
-
-
-@dataclass
 class SynthesisPipeline:
-    """Convenience wrapper running vulnerability check, synthesis and FAR study.
+    """Deprecated convenience wrapper around :func:`repro.api.run_pipeline`.
 
     Parameters
     ----------
     problem:
         The synthesis problem instance.
     backend:
-        Attack-synthesis backend shared by all algorithms.
+        Attack-synthesis backend shared by all algorithms (registry name or
+        instance).
     algorithms:
-        Subset of ``("pivot", "stepwise", "static")`` to run.
+        Subset of the registered synthesizer names (built-ins: ``"pivot"``,
+        ``"stepwise"``, ``"static"``).
     far_count:
         Size of the benign-noise population for the FAR study (0 disables it).
     far_noise_model:
         Noise model for the FAR study (default: 3-sigma bounded uniform).
     seed:
         RNG seed for the FAR study.
+
+    .. deprecated:: 2.0
+        Use :func:`repro.api.run_pipeline` with a
+        :class:`~repro.api.config.SynthesisConfig` instead.
     """
 
     problem: SynthesisProblem
@@ -100,46 +67,52 @@ class SynthesisPipeline:
     min_threshold: float = 0.0
 
     def __post_init__(self) -> None:
-        unknown = set(self.algorithms) - set(_KNOWN_ALGORITHMS)
+        warnings.warn(
+            "SynthesisPipeline is deprecated; use repro.api.run_pipeline with a "
+            "SynthesisConfig (and repro.api.run_experiments for sweeps)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        known = SYNTHESIZERS.available()
+        unknown = set(self.algorithms) - set(known)
         if unknown:
             raise ValidationError(
-                f"unknown algorithms {sorted(unknown)}; known: {_KNOWN_ALGORITHMS}"
+                f"unknown algorithms {sorted(unknown)}; known: {tuple(known)}"
             )
 
     # ------------------------------------------------------------------
-    def _synthesizer(self, name: str):
-        if name == "pivot":
-            return PivotThresholdSynthesizer(
-                backend=self.backend, max_rounds=self.max_rounds, min_threshold=self.min_threshold
-            )
-        if name == "stepwise":
-            return StepwiseThresholdSynthesizer(
-                backend=self.backend, max_rounds=self.max_rounds, min_threshold=self.min_threshold
-            )
-        return StaticThresholdSynthesizer(backend=self.backend)
+    def to_configs(self) -> tuple[SynthesisConfig, FARConfig | None]:
+        """The declarative configs equivalent to this pipeline's kwargs.
+
+        A caller-supplied backend *instance* cannot be expressed declaratively;
+        the config then records the default ``"lp"`` name and :meth:`run`
+        passes the instance through as an override.
+        """
+        synthesis = SynthesisConfig(
+            algorithms=tuple(self.algorithms),
+            backend=self.backend if isinstance(self.backend, str) else "lp",
+            max_rounds=self.max_rounds,
+            min_threshold=self.min_threshold,
+        )
+        far = None
+        if self.far_count > 0:
+            spread = self.far_initial_state_spread
+            if spread is not None:
+                spread = np.asarray(spread, dtype=float).reshape(-1).tolist()
+            far = FARConfig(count=self.far_count, seed=self.seed, initial_state_spread=spread)
+        return synthesis, far
 
     # ------------------------------------------------------------------
     def run(self) -> PipelineReport:
         """Execute the full pipeline and return the report."""
-        vulnerability = synthesize_attack(self.problem, threshold=None, backend=self.backend)
-        report = PipelineReport(vulnerability=vulnerability)
+        synthesis, far = self.to_configs()
+        return run_pipeline(
+            self.problem,
+            synthesis=synthesis,
+            far=far,
+            backend=None if isinstance(self.backend, str) else self.backend,
+            far_noise_model=self.far_noise_model,
+        )
 
-        for name in self.algorithms:
-            synthesizer = self._synthesizer(name)
-            report.synthesis[name] = synthesizer.synthesize(self.problem)
 
-        if self.far_count > 0 and report.synthesis:
-            evaluator = FalseAlarmEvaluator(
-                self.problem,
-                noise_model=self.far_noise_model,
-                count=self.far_count,
-                seed=self.seed,
-                initial_state_spread=self.far_initial_state_spread,
-            )
-            detectors = {
-                name: result.threshold
-                for name, result in report.synthesis.items()
-                if result.threshold is not None
-            }
-            report.far_study = evaluator.evaluate(detectors)
-        return report
+__all__ = ["SynthesisPipeline", "PipelineReport"]

@@ -31,12 +31,14 @@ from repro.core.attack_synthesis import synthesize_attack
 from repro.core.problem import SynthesisProblem
 from repro.core.synthesis_result import ThresholdSynthesisResult
 from repro.detectors.threshold import ThresholdVector
+from repro.registry import SYNTHESIZERS
 from repro.utils.results import SolveStatus, SynthesisRecord
 from repro.utils.validation import ValidationError
 
 logger = logging.getLogger(__name__)
 
 
+@SYNTHESIZERS.register("pivot")
 @dataclass
 class PivotThresholdSynthesizer:
     """Pivot-based synthesis of a monotonically decreasing threshold vector.

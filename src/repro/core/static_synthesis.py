@@ -19,10 +19,12 @@ from repro.core.attack_synthesis import synthesize_attack
 from repro.core.problem import SynthesisProblem
 from repro.core.synthesis_result import ThresholdSynthesisResult
 from repro.detectors.threshold import ThresholdVector
+from repro.registry import SYNTHESIZERS
 from repro.utils.results import SolveStatus, SynthesisRecord
 from repro.utils.validation import ValidationError, check_positive
 
 
+@SYNTHESIZERS.register("static")
 @dataclass
 class StaticThresholdSynthesizer:
     """Bisection search for the largest safe static threshold.

@@ -37,6 +37,7 @@ from repro.core.attack_synthesis import synthesize_attack
 from repro.core.problem import SynthesisProblem
 from repro.core.synthesis_result import ThresholdSynthesisResult
 from repro.detectors.threshold import ThresholdVector
+from repro.registry import SYNTHESIZERS
 from repro.utils.results import SolveStatus, SynthesisRecord
 
 logger = logging.getLogger(__name__)
@@ -77,6 +78,7 @@ def min_area_rectangle(
     return best_index
 
 
+@SYNTHESIZERS.register("stepwise")
 @dataclass
 class StepwiseThresholdSynthesizer:
     """Step-wise synthesis of a monotonically decreasing staircase threshold.

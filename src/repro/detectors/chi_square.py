@@ -16,9 +16,11 @@ import numpy as np
 from scipy import stats
 
 from repro.detectors.residue import DetectionResult
+from repro.registry import DETECTORS
 from repro.utils.validation import ValidationError, check_probability, check_symmetric
 
 
+@DETECTORS.register("chi-square")
 @dataclass
 class ChiSquareDetector:
     """Detector alarming when ``z_k^T S^{-1} z_k >= threshold``.

@@ -16,9 +16,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.detectors.residue import DetectionResult
+from repro.registry import DETECTORS
 from repro.utils.validation import ValidationError, check_positive
 
 
+@DETECTORS.register("cusum")
 @dataclass
 class CusumDetector:
     """One-sided CUSUM on the residue norm.

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.detectors.threshold import ThresholdVector
 from repro.lti.simulate import SimulationTrace
+from repro.registry import DETECTORS
 
 
 @dataclass
@@ -51,6 +52,7 @@ class DetectionResult:
         return int(np.sum(self.alarms))
 
 
+@DETECTORS.register("residue")
 @dataclass
 class ResidueDetector:
     """Threshold detector over Kalman residues.

@@ -1,4 +1,16 @@
-"""Backend registry: resolve a backend by name."""
+"""Backend registration and name resolution.
+
+The built-in attack-synthesis backends register themselves into the shared
+:data:`repro.registry.BACKENDS` registry here; :func:`get_backend` is the
+resolution entry point used by :func:`repro.core.attack_synthesis.synthesize_attack`.
+Downstream users add their own backends with::
+
+    from repro.registry import BACKENDS
+
+    @BACKENDS.register("my-solver")
+    class MySolverBackend(AttackBackend):
+        ...
+"""
 
 from __future__ import annotations
 
@@ -6,18 +18,11 @@ from repro.falsification.base import AttackBackend
 from repro.falsification.lp_backend import LPAttackBackend
 from repro.falsification.optimizer import OptimizationFalsifier
 from repro.falsification.smt_backend import SMTAttackBackend
-from repro.utils.validation import ValidationError
+from repro.registry import BACKENDS, available_backends
 
-_BACKENDS = {
-    "lp": LPAttackBackend,
-    "smt": SMTAttackBackend,
-    "optimizer": OptimizationFalsifier,
-}
-
-
-def available_backends() -> list[str]:
-    """Names of the registered attack-synthesis backends."""
-    return sorted(_BACKENDS)
+BACKENDS.register("lp", LPAttackBackend)
+BACKENDS.register("smt", SMTAttackBackend)
+BACKENDS.register("optimizer", OptimizationFalsifier)
 
 
 def get_backend(name_or_backend, **kwargs) -> AttackBackend:
@@ -26,16 +31,17 @@ def get_backend(name_or_backend, **kwargs) -> AttackBackend:
     Parameters
     ----------
     name_or_backend:
-        Either an :class:`AttackBackend` instance (returned unchanged) or one
-        of the registered names (``"lp"``, ``"smt"``, ``"optimizer"``).
+        Either an :class:`AttackBackend` instance (returned unchanged) or a
+        name registered in :data:`repro.registry.BACKENDS` (built-ins:
+        ``"lp"``, ``"smt"``, ``"optimizer"``).  Unknown names raise a
+        :class:`~repro.registry.RegistryError` listing the currently
+        registered names.
     kwargs:
         Constructor arguments forwarded when a name is given.
     """
     if isinstance(name_or_backend, AttackBackend):
         return name_or_backend
-    name = str(name_or_backend)
-    if name not in _BACKENDS:
-        raise ValidationError(
-            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
-        )
-    return _BACKENDS[name](**kwargs)
+    return BACKENDS.create(str(name_or_backend), **kwargs)
+
+
+__all__ = ["get_backend", "available_backends", "BACKENDS"]

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.registry import NOISE_MODELS
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import ValidationError, check_symmetric
 
@@ -28,6 +29,7 @@ class NoiseModel(abc.ABC):
         return self.sample(1, rng)[0]
 
 
+@NOISE_MODELS.register("zero")
 @dataclass(frozen=True)
 class ZeroNoise(NoiseModel):
     """Deterministic zero noise (placeholder for noiseless channels)."""
@@ -42,6 +44,7 @@ class ZeroNoise(NoiseModel):
         return np.zeros((int(horizon), self.size))
 
 
+@NOISE_MODELS.register("gaussian")
 @dataclass(frozen=True)
 class GaussianNoise(NoiseModel):
     """Zero-mean multivariate Gaussian noise with covariance ``covariance``."""
@@ -69,6 +72,7 @@ class GaussianNoise(NoiseModel):
         return cls(covariance=np.diag(std**2))
 
 
+@NOISE_MODELS.register("bounded-uniform")
 @dataclass(frozen=True)
 class BoundedUniformNoise(NoiseModel):
     """Uniform noise on ``[-bound_i, +bound_i]`` per channel.
@@ -95,6 +99,7 @@ class BoundedUniformNoise(NoiseModel):
         return uniform * self.bounds
 
 
+@NOISE_MODELS.register("truncated-gaussian")
 @dataclass(frozen=True)
 class TruncatedGaussianNoise(NoiseModel):
     """Diagonal Gaussian noise clipped to ``[-bound_i, +bound_i]`` per channel.

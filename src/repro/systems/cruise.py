@@ -21,9 +21,11 @@ from repro.monitors.deadzone import DeadZoneMonitor
 from repro.monitors.gradient_monitor import GradientMonitor
 from repro.monitors.range_monitor import RangeMonitor
 from repro.monitors.relation_monitor import RelationMonitor
+from repro.registry import CASE_STUDIES
 from repro.systems.base import CaseStudy, design_closed_loop
 
 
+@CASE_STUDIES.register("cruise")
 def build_cruise_case_study(
     dt: float = 0.1,
     horizon: int = 40,

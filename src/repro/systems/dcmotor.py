@@ -20,9 +20,11 @@ from repro.monitors.composite import CompositeMonitor
 from repro.monitors.deadzone import DeadZoneMonitor
 from repro.monitors.gradient_monitor import GradientMonitor
 from repro.monitors.range_monitor import RangeMonitor
+from repro.registry import CASE_STUDIES
 from repro.systems.base import CaseStudy, design_closed_loop
 
 
+@CASE_STUDIES.register("dcmotor")
 def build_dcmotor_case_study(
     dt: float = 0.05,
     horizon: int = 30,

@@ -19,9 +19,11 @@ from repro.lti.model import StateSpace
 from repro.monitors.composite import CompositeMonitor
 from repro.monitors.deadzone import DeadZoneMonitor
 from repro.monitors.range_monitor import RangeMonitor
+from repro.registry import CASE_STUDIES
 from repro.systems.base import CaseStudy, design_closed_loop
 
 
+@CASE_STUDIES.register("pendulum")
 def build_pendulum_case_study(
     dt: float = 0.02,
     horizon: int = 60,

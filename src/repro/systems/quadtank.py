@@ -21,9 +21,11 @@ from repro.monitors.composite import CompositeMonitor
 from repro.monitors.deadzone import DeadZoneMonitor
 from repro.monitors.gradient_monitor import GradientMonitor
 from repro.monitors.range_monitor import RangeMonitor
+from repro.registry import CASE_STUDIES
 from repro.systems.base import CaseStudy, design_closed_loop
 
 
+@CASE_STUDIES.register("quadtank")
 def build_quadtank_case_study(
     dt: float = 1.0,
     horizon: int = 40,

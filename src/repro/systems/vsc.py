@@ -51,6 +51,7 @@ from repro.monitors.deadzone import DeadZoneMonitor
 from repro.monitors.gradient_monitor import GradientMonitor
 from repro.monitors.range_monitor import RangeMonitor
 from repro.monitors.relation_monitor import RelationMonitor
+from repro.registry import CASE_STUDIES
 from repro.systems.base import CaseStudy, design_closed_loop
 from repro.utils.validation import check_positive
 
@@ -191,6 +192,7 @@ def build_vsc_monitors(params: VSCParameters | None = None) -> CompositeMonitor:
     )
 
 
+@CASE_STUDIES.register("vsc")
 def build_vsc_case_study(
     params: VSCParameters | None = None,
     with_monitors: bool = True,

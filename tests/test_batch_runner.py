@@ -1,0 +1,159 @@
+"""Tests for the batch experiment runner (repro.api.runner)."""
+
+import pytest
+
+from repro.api import (
+    BatchRunner,
+    ExperimentResult,
+    ExperimentRow,
+    ExperimentSpec,
+    FARConfig,
+    run_experiments,
+)
+from repro.registry import CASE_STUDIES
+
+
+def _comparable(result: ExperimentResult) -> list[tuple]:
+    """The deterministic part of each row (timings vary run-to-run)."""
+    return [
+        (
+            row.case_study,
+            row.backend,
+            row.algorithm,
+            row.status,
+            row.vulnerable,
+            row.converged,
+            row.rounds,
+            row.false_alarm_rate,
+            row.error,
+        )
+        for row in result.rows
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep_spec() -> ExperimentSpec:
+    """2 case studies x 2 backends x 2 algorithms, kept cheap for the SMT cells."""
+    return ExperimentSpec(
+        name="acceptance-sweep",
+        case_studies=("dcmotor", "trajectory"),
+        backends=("lp", "smt"),
+        algorithms=("stepwise", "static"),
+        case_study_options={"dcmotor": {"horizon": 8}, "trajectory": {"horizon": 8}},
+        min_threshold=0.005,
+        max_rounds=150,
+        far=FARConfig(count=20, seed=0, filter_pfc=False, filter_mdc=False),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(sweep_spec) -> ExperimentResult:
+    return run_experiments(sweep_spec)
+
+
+class TestSerialSweep:
+    def test_full_grid_executed(self, sweep_spec, serial_result):
+        assert len(serial_result) == sweep_spec.size == 8
+        assert serial_result.errors == []
+        combos = {(row.case_study, row.backend, row.algorithm) for row in serial_result}
+        assert len(combos) == 8
+
+    def test_rows_sorted_by_stable_key(self, serial_result):
+        keys = [row.sort_key for row in serial_result.rows]
+        assert keys == sorted(keys)
+        assert [row["case_study"] for row in serial_result.summary_rows()] == sorted(
+            row.case_study for row in serial_result.rows
+        )
+
+    def test_every_cell_synthesized_and_evaluated(self, serial_result):
+        for row in serial_result:
+            # Convergence is problem-dependent (short horizons can block the
+            # stepwise refinement), but every cell must produce a verdict,
+            # metrics and a FAR value without raising.
+            assert row.status in ("sat", "unsat", "unknown")
+            assert row.vulnerable is True
+            assert row.converged in (True, False)
+            assert row.rounds >= 1
+            assert row.solver_time_s >= 0.0
+            assert 0.0 <= row.false_alarm_rate <= 1.0
+
+    def test_static_baseline_converges_on_both_backends(self, serial_result):
+        for case in ("dcmotor", "trajectory"):
+            for backend in ("lp", "smt"):
+                row = serial_result.select(
+                    case_study=case, backend=backend, algorithm="static"
+                )[0]
+                assert row.status == "unsat"
+                assert row.converged is True
+
+    def test_result_round_trips_through_json(self, serial_result):
+        rebuilt = ExperimentResult.from_json(serial_result.to_json())
+        assert rebuilt == serial_result
+
+    def test_json_export_is_reproducible(self, sweep_spec, serial_result):
+        again = BatchRunner(sweep_spec).run()
+        # Timings differ between runs; everything else must be identical.
+        assert _comparable(again) == _comparable(serial_result)
+
+    def test_spec_dict_accepted(self, sweep_spec):
+        small = ExperimentSpec(
+            case_studies=("trajectory",),
+            backends=("lp",),
+            algorithms=("static",),
+            case_study_options={"trajectory": {"horizon": 8}},
+        )
+        result = run_experiments(small.to_dict())
+        assert len(result) == 1
+        assert result.rows[0].status == "unsat"
+
+
+class TestMultiprocessSweep:
+    def test_pool_matches_serial(self, sweep_spec, serial_result):
+        parallel = run_experiments(sweep_spec, workers=4)
+        assert _comparable(parallel) == _comparable(serial_result)
+
+
+class TestGrouping:
+    def test_cells_sharing_case_and_backend_share_one_pipeline_run(self, sweep_spec):
+        from repro.api.runner import _group_payloads
+
+        groups = _group_payloads(sweep_spec.expand())
+        assert len(groups) == 4  # 2 cases x 2 backends; algorithms merged
+        assert all(group["algorithms"] == ["stepwise", "static"] for group in groups)
+        assert {(g["case_study"], g["backend"]) for g in groups} == {
+            ("dcmotor", "lp"),
+            ("dcmotor", "smt"),
+            ("trajectory", "lp"),
+            ("trajectory", "smt"),
+        }
+
+
+class TestErrorHandling:
+    def test_failing_cell_becomes_error_row(self):
+        @CASE_STUDIES.register("test-broken-case")
+        def build_broken_case():
+            raise RuntimeError("boom")
+
+        try:
+            spec = ExperimentSpec(
+                case_studies=("test-broken-case", "trajectory"),
+                backends=("lp",),
+                algorithms=("static",),
+                case_study_options={"trajectory": {"horizon": 8}},
+            )
+            result = run_experiments(spec)
+        finally:
+            CASE_STUDIES.unregister("test-broken-case")
+
+        assert len(result) == 2
+        broken = result.select(case_study="test-broken-case")[0]
+        assert broken.status == "error"
+        assert "boom" in broken.error
+        assert broken.rounds is None
+        healthy = result.select(case_study="trajectory")[0]
+        assert healthy.error is None
+        assert healthy.status == "unsat"
+
+    def test_unknown_row_field_rejected(self):
+        with pytest.raises(Exception):
+            ExperimentRow.from_dict({"case_study": "a", "backend": "lp", "bogus": 1})

@@ -1,0 +1,155 @@
+"""Tests for the shared plugin registries (repro.registry)."""
+
+import pytest
+
+import repro
+from repro.falsification.base import AttackBackend
+from repro.falsification.lp_backend import LPAttackBackend
+from repro.falsification.registry import get_backend
+from repro.registry import (
+    BACKENDS,
+    CASE_STUDIES,
+    DETECTORS,
+    NOISE_MODELS,
+    SYNTHESIZERS,
+    Registry,
+    RegistryError,
+    available_backends,
+    available_case_studies,
+    available_detectors,
+    available_noise_models,
+    available_synthesizers,
+    get_registry,
+    register,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestBuiltinRegistrations:
+    def test_all_five_registries_resolve_the_legacy_names(self):
+        assert set(available_backends()) == {"lp", "smt", "optimizer"}
+        assert set(available_synthesizers()) == {"pivot", "stepwise", "static"}
+        assert set(available_detectors()) == {"residue", "chi-square", "cusum"}
+        assert set(available_noise_models()) == {
+            "zero",
+            "gaussian",
+            "bounded-uniform",
+            "truncated-gaussian",
+        }
+        assert set(available_case_studies()) == {
+            "vsc",
+            "trajectory",
+            "dcmotor",
+            "quadtank",
+            "cruise",
+            "pendulum",
+        }
+
+    def test_resolved_objects_are_the_public_classes(self):
+        assert BACKENDS.get("lp") is LPAttackBackend
+        assert SYNTHESIZERS.get("pivot") is repro.PivotThresholdSynthesizer
+        assert SYNTHESIZERS.get("stepwise") is repro.StepwiseThresholdSynthesizer
+        assert SYNTHESIZERS.get("static") is repro.StaticThresholdSynthesizer
+        assert DETECTORS.get("cusum") is repro.CusumDetector
+        assert CASE_STUDIES.get("vsc") is repro.build_vsc_case_study
+
+    def test_create_forwards_kwargs(self):
+        case = CASE_STUDIES.create("dcmotor", horizon=12)
+        assert case.problem.horizon == 12
+        noise = NOISE_MODELS.create("bounded-uniform", bounds=[0.1, 0.2])
+        assert noise.dimension == 2
+
+    def test_factory_conveniences(self):
+        assert repro.get_case_study("trajectory").name
+        assert repro.get_noise_model("zero", size=3).dimension == 3
+        synthesizer = repro.get_synthesizer("pivot", max_rounds=7)
+        assert synthesizer.max_rounds == 7
+
+    def test_introspection_exported_from_top_level(self):
+        assert repro.available_backends() == available_backends()
+        assert repro.available_case_studies() == available_case_studies()
+
+
+class TestRegistryMechanics:
+    def test_unknown_name_error_lists_available(self):
+        with pytest.raises(RegistryError) as excinfo:
+            BACKENDS.get("z3")
+        message = str(excinfo.value)
+        assert "lp" in message and "smt" in message and "optimizer" in message
+
+    def test_registry_error_is_a_validation_error(self):
+        assert issubclass(RegistryError, ValidationError)
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("a", int)
+        with pytest.raises(RegistryError):
+            registry.register("a", float)
+        # Same object again is an idempotent no-op; overwrite replaces.
+        registry.register("a", int)
+        registry.register("a", float, overwrite=True)
+        assert registry.get("a") is float
+
+    def test_register_as_decorator(self):
+        registry = Registry("widget")
+
+        @registry.register("thing")
+        class Thing:
+            pass
+
+        assert registry.get("thing") is Thing
+        assert "thing" in registry
+        assert list(registry) == ["thing"]
+        assert len(registry) == 1
+
+    def test_invalid_names_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError):
+            registry.register("", int)
+        with pytest.raises(RegistryError):
+            registry.register(3, int)
+
+    def test_unregister(self):
+        registry = Registry("widget")
+        registry.register("a", int)
+        assert registry.unregister("a") is int
+        with pytest.raises(RegistryError):
+            registry.unregister("a")
+
+    def test_get_registry_and_generic_register(self):
+        assert get_registry("backend") is BACKENDS
+        assert get_registry("case_study") is CASE_STUDIES
+        with pytest.raises(RegistryError):
+            get_registry("widgets")
+
+        class Dummy:
+            pass
+
+        register("detector", "test-dummy-detector", Dummy)
+        try:
+            assert DETECTORS.get("test-dummy-detector") is Dummy
+        finally:
+            DETECTORS.unregister("test-dummy-detector")
+
+
+class TestBackendResolution:
+    def test_instance_passthrough(self):
+        backend = get_backend("lp")
+        assert isinstance(backend, LPAttackBackend)
+        assert get_backend(backend) is backend
+
+    def test_user_registered_backend_resolves_everywhere(self, dcmotor_problem):
+        class EchoBackend(AttackBackend):
+            def solve(self, encoding, time_budget=None):  # pragma: no cover
+                raise NotImplementedError
+
+        BACKENDS.register("test-echo", EchoBackend)
+        try:
+            assert "test-echo" in available_backends()
+            assert isinstance(get_backend("test-echo"), EchoBackend)
+            # The dynamic error message now includes the new name too.
+            with pytest.raises(RegistryError, match="test-echo"):
+                get_backend("nope")
+        finally:
+            BACKENDS.unregister("test-echo")
+        assert "test-echo" not in available_backends()
