@@ -1,0 +1,170 @@
+"""Runtime benchmarks: fleet throughput and the vectorized FAR speedup.
+
+Two measurements back the runtime subsystem:
+
+* fleet throughput — a 1000-instance x 200-step deployment on the DC-motor
+  loop, reported as instance-steps per second;
+* FAR vectorization before/after — the batched benign-population generation
+  of :class:`~repro.core.far.FalseAlarmEvaluator` against the historical
+  one-Python-simulation-per-trial loop, asserting *identical* rates and a
+  real speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import (
+    FalseAlarmEvaluator,
+    RuntimeConfig,
+    get_case_study,
+    run_fleet,
+)
+from repro.detectors.cusum import CusumDetector
+from repro.lti.simulate import SimulationOptions, simulate_closed_loop
+from repro.utils.rng import spawn_rngs
+
+
+def test_fleet_throughput(benchmark):
+    """1000 monitored instances x 200 steps in one batched run_fleet call."""
+    problem = get_case_study("dcmotor").problem
+    config = RuntimeConfig(
+        n_instances=1000,
+        horizon=200,
+        static_thresholds={"static": 0.1},
+        detectors={"cusum": {"name": "cusum", "options": {"bias": 0.02, "threshold": 0.5}}},
+        attacks=[{"template": "bias", "options": {"bias": 0.5}, "fraction": 0.1, "start": 50}],
+        include_mdc=False,
+        seed=0,
+    )
+    report = run_once(benchmark, lambda: run_fleet(config, problem))
+    print(
+        f"\n--- fleet throughput: {report.instance_steps} instance-steps in "
+        f"{report.elapsed_seconds:.3f}s = {report.throughput:,.0f} instance-steps/s"
+    )
+    print(report)
+    assert report.n_instances == 1000 and report.horizon == 200
+    assert report.stats("static").detection_rate == 1.0
+
+
+def test_fleet_scales_with_instances(benchmark):
+    """Batched stepping: 10x the fleet must cost far less than 10x the time."""
+    problem = get_case_study("dcmotor").problem
+
+    def deploy(n_instances: int):
+        config = RuntimeConfig(
+            n_instances=n_instances,
+            horizon=200,
+            static_thresholds={"static": 0.1},
+            include_mdc=False,
+            seed=0,
+        )
+        return run_fleet(config, problem)
+
+    small = deploy(100)
+    large = run_once(benchmark, lambda: deploy(1000))
+    ratio = large.elapsed_seconds / max(small.elapsed_seconds, 1e-9)
+    print(
+        f"\n--- scaling: 100 instances {small.elapsed_seconds:.4f}s, "
+        f"1000 instances {large.elapsed_seconds:.4f}s (x{ratio:.1f} for 10x work)"
+    )
+    # Wall-clock comparisons only bind in real benchmark runs; the CI smoke
+    # job (--benchmark-disable) runs on shared machines where they'd flake.
+    if not benchmark.disabled:
+        assert ratio < 9.0
+
+
+def _sequential_far(problem, detectors, count, seed):
+    """The pre-vectorization FAR implementation (one Python simulation per trial)."""
+    noise_model = FalseAlarmEvaluator.default_noise_model(problem)
+    kept = []
+    for rng in spawn_rngs(seed, count):
+        measurement_noise = noise_model.sample(problem.horizon, rng)
+        trace = simulate_closed_loop(
+            problem.system,
+            SimulationOptions(horizon=problem.horizon, x0=problem.x0),
+            measurement_noise=measurement_noise,
+        )
+        if not problem.pfc_satisfied(trace):
+            continue
+        if problem.mdc_alarm(trace):
+            continue
+        kept.append(trace)
+    return {
+        label: float(
+            np.mean([bool(np.any(threshold.alarms(trace.residues))) for trace in kept])
+        )
+        for label, threshold in detectors.items()
+    }
+
+
+def test_far_vectorization_before_after(benchmark):
+    """Vectorized FAR: identical rates to the sequential loop, measurably faster."""
+    problem = get_case_study("trajectory").problem
+    count, seed = 300, 0
+    detectors = {
+        "loose": problem.static_threshold(1.0),
+        "mid": problem.static_threshold(0.02),
+        "tight": problem.static_threshold(1e-6),
+    }
+
+    started = time.perf_counter()
+    sequential_rates = _sequential_far(problem, detectors, count, seed)
+    sequential_seconds = time.perf_counter() - started
+
+    def vectorized():
+        evaluator = FalseAlarmEvaluator(problem, count=count, seed=seed)
+        return evaluator.evaluate(detectors)
+
+    started = time.perf_counter()
+    study = run_once(benchmark, vectorized)
+    vectorized_seconds = time.perf_counter() - started
+
+    speedup = sequential_seconds / max(vectorized_seconds, 1e-9)
+    print(
+        f"\n--- FAR generation ({count} trials x T={problem.horizon}): "
+        f"sequential {sequential_seconds:.3f}s, vectorized {vectorized_seconds:.3f}s "
+        f"(x{speedup:.1f})"
+    )
+    # Identical rates: the batched path replays the exact same per-trial
+    # noise streams and filters.
+    assert study.rates == sequential_rates
+    # The speedup bound only binds in real benchmark runs; the CI smoke job
+    # (--benchmark-disable) runs on shared machines where wall-clock
+    # comparisons flake (this repo already dropped one such assert in PR 1).
+    if not benchmark.disabled:
+        assert speedup > 1.5
+
+
+def test_cusum_fleet_matches_offline_rates(benchmark):
+    """Cross-check: online fleet FAR of a CUSUM equals its offline per-trace FAR."""
+    problem = get_case_study("dcmotor").problem
+    # Parameters chosen so the benign FAR is solidly non-zero (~14 %): the
+    # equality below then checks real alarms, not two silent detectors.
+    detector = CusumDetector(bias=0.005, threshold=0.05)
+    count = 400
+
+    def deploy():
+        config = RuntimeConfig(
+            n_instances=count,
+            static_thresholds={"static": 0.05},
+            include_mdc=False,
+            noise_scale=1.0,
+            seed=7,
+        )
+        return run_fleet(config, problem, detectors={"cusum": detector})
+
+    report = run_once(benchmark, deploy)
+    evaluator = FalseAlarmEvaluator(
+        problem, count=count, seed=7, filter_pfc=False, filter_mdc=False
+    )
+    offline = np.mean(
+        [detector.detects(trace.residues) for trace in evaluator.benign_traces()]
+    )
+    online = report.stats("cusum").false_alarm_rate
+    print(f"\n--- cusum FAR: online fleet {online:.4f}, offline traces {float(offline):.4f}")
+    assert online > 0.0
+    assert online == float(offline)

@@ -46,6 +46,10 @@ Subpackages
     The formal solver substrate (DPLL(T) + simplex) and the attack-synthesis backends.
 ``repro.systems``
     Ready-made case studies (VSC, trajectory tracking, DC motor, ...).
+``repro.runtime``
+    The streaming fleet-monitoring engine: online detector wrappers,
+    the vectorized ``FleetSimulator`` with scheduled attacks, alarm-event
+    sinks, and the ``run_fleet`` deployment entry point.
 """
 
 from repro.core import (
@@ -69,12 +73,29 @@ from repro.api import (
     FARConfig,
     ExperimentSpec,
     ExperimentUnit,
+    RuntimeConfig,
     PipelineReport,
     run_pipeline,
+    run_fleet,
     BatchRunner,
     ExperimentResult,
     ExperimentRow,
     run_experiments,
+)
+from repro.runtime import (
+    AlarmEvent,
+    FleetReport,
+    FleetSimulator,
+    FleetTrace,
+    InMemorySink,
+    JSONLSink,
+    OnlineChiSquare,
+    OnlineCusum,
+    OnlineMonitor,
+    OnlineResidueDetector,
+    ScheduledAttack,
+    batch_simulate,
+    make_online,
 )
 from repro.registry import (
     Registry,
@@ -86,10 +107,12 @@ from repro.registry import (
     available_detectors,
     available_noise_models,
     available_case_studies,
+    available_attack_templates,
     get_case_study,
     get_noise_model,
     get_detector,
     get_synthesizer,
+    get_attack_template,
 )
 from repro.falsification.registry import get_backend
 from repro.detectors import ThresholdVector, ResidueDetector, ChiSquareDetector, CusumDetector
@@ -121,12 +144,28 @@ __all__ = [
     "FARConfig",
     "ExperimentSpec",
     "ExperimentUnit",
+    "RuntimeConfig",
     "PipelineReport",
     "run_pipeline",
     "BatchRunner",
     "ExperimentResult",
     "ExperimentRow",
     "run_experiments",
+    # runtime fleet monitoring
+    "run_fleet",
+    "FleetSimulator",
+    "FleetReport",
+    "FleetTrace",
+    "ScheduledAttack",
+    "AlarmEvent",
+    "InMemorySink",
+    "JSONLSink",
+    "OnlineResidueDetector",
+    "OnlineCusum",
+    "OnlineChiSquare",
+    "OnlineMonitor",
+    "batch_simulate",
+    "make_online",
     # registries
     "Registry",
     "RegistryError",
@@ -137,11 +176,13 @@ __all__ = [
     "available_detectors",
     "available_noise_models",
     "available_case_studies",
+    "available_attack_templates",
     "get_backend",
     "get_case_study",
     "get_noise_model",
     "get_detector",
     "get_synthesizer",
+    "get_attack_template",
     # core algorithms
     "SynthesisProblem",
     "ReachSetCriterion",

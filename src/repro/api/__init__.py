@@ -10,23 +10,36 @@ at any scale:
 * :class:`~repro.api.config.ExperimentSpec` +
   :func:`~repro.api.runner.run_experiments` — sweep whole grids of
   case studies × backends × algorithms, serially or with multiprocessing
-  fan-out, into a sorted :class:`~repro.api.runner.ExperimentResult` table.
+  fan-out, into a sorted :class:`~repro.api.runner.ExperimentResult` table;
+* :class:`~repro.api.config.RuntimeConfig` +
+  :func:`~repro.runtime.engine.run_fleet` — deploy the synthesized detectors
+  online on a vectorized fleet of monitored plant instances under scheduled
+  attacks (see :mod:`repro.runtime`).
 
 Every component name is resolved through :mod:`repro.registry`, so anything a
 downstream user registers there is sweepable here with no further plumbing.
 """
 
-from repro.api.config import ExperimentSpec, ExperimentUnit, FARConfig, SynthesisConfig
+from repro.api.config import (
+    ExperimentSpec,
+    ExperimentUnit,
+    FARConfig,
+    RuntimeConfig,
+    SynthesisConfig,
+)
 from repro.api.execute import PipelineReport, run_pipeline
 from repro.api.runner import BatchRunner, ExperimentResult, ExperimentRow, run_experiments
+from repro.runtime.engine import run_fleet
 
 __all__ = [
     "SynthesisConfig",
     "FARConfig",
     "ExperimentSpec",
     "ExperimentUnit",
+    "RuntimeConfig",
     "PipelineReport",
     "run_pipeline",
+    "run_fleet",
     "BatchRunner",
     "ExperimentResult",
     "ExperimentRow",

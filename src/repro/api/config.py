@@ -28,7 +28,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.registry import BACKENDS, CASE_STUDIES, NOISE_MODELS, SYNTHESIZERS
+from repro.registry import (
+    ATTACK_TEMPLATES,
+    BACKENDS,
+    CASE_STUDIES,
+    DETECTORS,
+    NOISE_MODELS,
+    SYNTHESIZERS,
+)
 from repro.utils.validation import ValidationError
 
 
@@ -269,6 +276,198 @@ class FARConfig:
     def from_dict(cls, data: dict) -> "FARConfig":
         """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
         return cls(**_checked_fields(cls, data))
+
+
+_ATTACK_SCHEDULE_KEYS = {"template", "options", "instances", "fraction", "start", "label"}
+
+
+@dataclass
+class RuntimeConfig:
+    """Declarative description of one fleet-monitoring run (``run_fleet``).
+
+    Parameters
+    ----------
+    n_instances:
+        Fleet size ``N``.
+    horizon:
+        Sampling instances to step; ``None`` uses the problem's horizon.
+    case_study / case_study_options:
+        Registry name (and builder kwargs) of the problem to deploy on;
+        optional when a problem is passed to ``run_fleet`` directly.
+    synthesis:
+        Optional :class:`SynthesisConfig`; each configured algorithm's
+        synthesized threshold is deployed as an online residue detector
+        labelled by the algorithm name.
+    static_thresholds:
+        Extra static residue detectors, ``label -> threshold value`` (in the
+        problem's residue units).
+    detectors:
+        Extra registry-named detectors, ``label -> {"name": ..., "options":
+        {...}}`` (a bare name string is also accepted).  Chi-square entries
+        may omit ``innovation_cov`` (derived from the plant's Kalman design)
+        and may give ``false_alarm_probability`` instead of a threshold.
+    include_mdc:
+        Deploy the plant's existing monitors (``mdc``) as an online monitor
+        labelled ``"mdc"``.
+    noise_model / noise_options / noise_scale:
+        Benign measurement-noise envelope per instance; ``None`` uses the
+        FAR study's default (bounded uniform at ``noise_scale`` sigma).
+    include_process_noise:
+        Draw per-instance process noise from the plant's ``Q_w``.
+    initial_state_spread:
+        Per-state half-widths of the initial-state box (as in
+        :class:`FARConfig`).
+    attacks:
+        Attack schedule entries: ``{"template": name, "options": {...},
+        "start": k, "instances": [...] | "fraction": f, "label": ...}``.
+    seed:
+        Seed of the per-instance noise streams and subset draws.
+    events_path:
+        When set, alarm events are appended to this JSONL file.
+    record_traces:
+        Keep the full fleet trajectories on the report metadata (memory
+        scales with ``N * horizon``; off by default).
+    """
+
+    n_instances: int = 100
+    horizon: int | None = None
+    case_study: str | None = None
+    case_study_options: dict = field(default_factory=dict)
+    synthesis: SynthesisConfig | None = None
+    static_thresholds: dict = field(default_factory=dict)
+    detectors: dict = field(default_factory=dict)
+    include_mdc: bool = True
+    noise_model: str | None = None
+    noise_options: dict = field(default_factory=dict)
+    noise_scale: float = 1.0
+    include_process_noise: bool = False
+    initial_state_spread: list[float] | None = None
+    attacks: list = field(default_factory=list)
+    seed: int | None = 0
+    events_path: str | None = None
+    record_traces: bool = False
+
+    def __post_init__(self) -> None:
+        self.n_instances = int(self.n_instances)
+        if self.n_instances <= 0:
+            raise ValidationError("n_instances must be positive")
+        if self.horizon is not None:
+            self.horizon = int(self.horizon)
+            if self.horizon <= 0:
+                raise ValidationError("horizon must be positive")
+        if self.case_study is not None:
+            self.case_study = str(self.case_study)
+            if self.case_study not in CASE_STUDIES:
+                raise ValidationError(
+                    f"unknown case study {self.case_study!r}; "
+                    f"available: {', '.join(CASE_STUDIES.available())}"
+                )
+        if isinstance(self.synthesis, dict):
+            self.synthesis = SynthesisConfig.from_dict(self.synthesis)
+        self.static_thresholds = {
+            str(label): float(value) for label, value in self.static_thresholds.items()
+        }
+        detectors = {}
+        for label, spec in self.detectors.items():
+            if isinstance(spec, str):
+                spec = {"name": spec}
+            unknown = set(spec) - {"name", "options"}
+            if unknown:
+                raise ValidationError(
+                    f"unknown detector entry keys {sorted(unknown)} for {label!r}; "
+                    "expected 'name' and optional 'options'"
+                )
+            if "name" not in spec:
+                raise ValidationError(
+                    f"detector entry {label!r} needs a 'name' (one of: "
+                    f"{', '.join(DETECTORS.available())})"
+                )
+            name = str(spec["name"])
+            if name not in DETECTORS:
+                raise ValidationError(
+                    f"unknown detector {name!r}; "
+                    f"available: {', '.join(DETECTORS.available())}"
+                )
+            detectors[str(label)] = {"name": name, "options": dict(spec.get("options", {}))}
+        self.detectors = detectors
+        if self.noise_model is not None:
+            self.noise_model = str(self.noise_model)
+            if self.noise_model not in NOISE_MODELS:
+                raise ValidationError(
+                    f"unknown noise model {self.noise_model!r}; "
+                    f"available: {', '.join(NOISE_MODELS.available())}"
+                )
+        if self.initial_state_spread is not None:
+            self.initial_state_spread = [
+                float(v) for v in np.asarray(self.initial_state_spread, dtype=float).reshape(-1)
+            ]
+        attacks = []
+        for entry in self.attacks:
+            entry = dict(entry)
+            unknown = set(entry) - _ATTACK_SCHEDULE_KEYS
+            if unknown:
+                raise ValidationError(
+                    f"unknown attack schedule keys {sorted(unknown)}; "
+                    f"allowed: {sorted(_ATTACK_SCHEDULE_KEYS)}"
+                )
+            template = str(entry.get("template", ""))
+            if template not in ATTACK_TEMPLATES:
+                raise ValidationError(
+                    f"unknown attack template {template!r}; "
+                    f"available: {', '.join(ATTACK_TEMPLATES.available())}"
+                )
+            entry["template"] = template
+            if "instances" in entry and "fraction" in entry:
+                raise ValidationError(
+                    "an attack schedule entry takes either 'instances' or 'fraction', not both"
+                )
+            if "instances" in entry:
+                entry["instances"] = [int(i) for i in entry["instances"]]
+            attacks.append(entry)
+        self.attacks = attacks
+        self.noise_scale = float(self.noise_scale)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "n_instances": self.n_instances,
+            "horizon": self.horizon,
+            "case_study": self.case_study,
+            "case_study_options": dict(self.case_study_options),
+            "synthesis": None if self.synthesis is None else self.synthesis.to_dict(),
+            "static_thresholds": dict(self.static_thresholds),
+            "detectors": {
+                label: {"name": spec["name"], "options": dict(spec["options"])}
+                for label, spec in self.detectors.items()
+            },
+            "include_mdc": self.include_mdc,
+            "noise_model": self.noise_model,
+            "noise_options": dict(self.noise_options),
+            "noise_scale": self.noise_scale,
+            "include_process_noise": self.include_process_noise,
+            "initial_state_spread": (
+                None if self.initial_state_spread is None else list(self.initial_state_spread)
+            ),
+            "attacks": [dict(entry) for entry in self.attacks],
+            "seed": self.seed,
+            "events_path": self.events_path,
+            "record_traces": self.record_traces,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuntimeConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        return cls(**_checked_fields(cls, data))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON string form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuntimeConfig":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass

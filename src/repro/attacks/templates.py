@@ -3,10 +3,16 @@
 These templates generate :class:`~repro.attacks.fdi.FDIAttack` sequences from
 a handful of parameters.  They serve three purposes:
 
-* realistic adversaries for the examples and for detector evaluation,
+* realistic adversaries for the examples, for detector evaluation, and for
+  the fleet runtime's attack scheduler,
 * sanity baselines to compare against the formally synthesized attacks
   (a solver-found attack should be at least as damaging per unit effort),
 * stress inputs for the property-based tests of the detection pipeline.
+
+Each template is registered in :data:`repro.registry.ATTACK_TEMPLATES`
+(``none``, ``bias``, ``ramp``, ``surge``, ``geometric``, ``replay``) so
+declarative configs (:class:`~repro.api.config.RuntimeConfig`) can schedule
+them by name.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.attacks.fdi import AttackChannelMask, FDIAttack
+from repro.registry import ATTACK_TEMPLATES
 from repro.utils.validation import ValidationError, check_positive
 
 
@@ -38,6 +45,7 @@ class AttackTemplate(abc.ABC):
         return mask
 
 
+@ATTACK_TEMPLATES.register("none")
 @dataclass(frozen=True)
 class NoAttack(AttackTemplate):
     """The trivial template: no injection at all."""
@@ -46,6 +54,7 @@ class NoAttack(AttackTemplate):
         return FDIAttack.zeros(horizon, n_outputs)
 
 
+@ATTACK_TEMPLATES.register("bias")
 @dataclass(frozen=True)
 class BiasAttack(AttackTemplate):
     """Constant bias added to the attackable channels from ``start`` onward."""
@@ -63,6 +72,7 @@ class BiasAttack(AttackTemplate):
         return FDIAttack(values, mask=mask, metadata={"template": "bias", "bias": self.bias})
 
 
+@ATTACK_TEMPLATES.register("ramp")
 @dataclass(frozen=True)
 class RampAttack(AttackTemplate):
     """Linearly growing injection: ``a_k = slope * (k - start)`` for ``k >= start``."""
@@ -82,6 +92,7 @@ class RampAttack(AttackTemplate):
         return FDIAttack(values, mask=mask, metadata={"template": "ramp", "slope": self.slope})
 
 
+@ATTACK_TEMPLATES.register("surge")
 @dataclass(frozen=True)
 class SurgeAttack(AttackTemplate):
     """Large initial surge followed by a small sustained bias.
@@ -111,6 +122,7 @@ class SurgeAttack(AttackTemplate):
         )
 
 
+@ATTACK_TEMPLATES.register("geometric")
 @dataclass(frozen=True)
 class GeometricAttack(AttackTemplate):
     """Geometrically growing injection ``a_k = initial * ratio^k``.
@@ -140,6 +152,7 @@ class GeometricAttack(AttackTemplate):
         )
 
 
+@ATTACK_TEMPLATES.register("replay")
 @dataclass(frozen=True)
 class ReplayAttack(AttackTemplate):
     """Replay adversary.

@@ -7,19 +7,23 @@ This module replaces them with one mechanism: a :class:`Registry` per
 component kind, populated by ``@register`` decorators at class/function
 definition time, with dynamic error messages and introspection helpers.
 
-Five registries ship with the library:
+Six registries ship with the library:
 
-=================  =============================================  =========================
-registry           built-in names                                 registered object
-=================  =============================================  =========================
-``BACKENDS``       ``lp``, ``smt``, ``optimizer``                 attack-synthesis backend
-``SYNTHESIZERS``   ``pivot``, ``stepwise``, ``static``            threshold synthesizer
-``DETECTORS``      ``residue``, ``chi-square``, ``cusum``         residue detector
-``NOISE_MODELS``   ``zero``, ``gaussian``, ``bounded-uniform``,   noise model
-                   ``truncated-gaussian``
-``CASE_STUDIES``   ``vsc``, ``trajectory``, ``dcmotor``,          case-study builder
-                   ``quadtank``, ``cruise``, ``pendulum``
-=================  =============================================  =========================
+==================  =============================================  =========================
+registry            built-in names                                 registered object
+==================  =============================================  =========================
+``BACKENDS``        ``lp``, ``smt``, ``optimizer``                 attack-synthesis backend
+``SYNTHESIZERS``    ``pivot``, ``stepwise``, ``static``            threshold synthesizer
+``DETECTORS``       ``residue``, ``chi-square``, ``cusum``,        residue detector
+                    ``online-residue``, ``online-chi-square``,     (offline and online forms)
+                    ``online-cusum``
+``NOISE_MODELS``    ``zero``, ``gaussian``, ``bounded-uniform``,   noise model
+                    ``truncated-gaussian``
+``CASE_STUDIES``    ``vsc``, ``trajectory``, ``dcmotor``,          case-study builder
+                    ``quadtank``, ``cruise``, ``pendulum``
+``ATTACK_TEMPLATES``  ``none``, ``bias``, ``ramp``, ``surge``,     parametric attack template
+                    ``geometric``, ``replay``
+==================  =============================================  =========================
 
 Downstream users extend any of them::
 
@@ -157,10 +161,16 @@ SYNTHESIZERS = Registry(
 )
 DETECTORS = Registry(
     "detector",
-    ("repro.detectors.residue", "repro.detectors.chi_square", "repro.detectors.cusum"),
+    (
+        "repro.detectors.residue",
+        "repro.detectors.chi_square",
+        "repro.detectors.cusum",
+        "repro.runtime.online",
+    ),
 )
 NOISE_MODELS = Registry("noise model", ("repro.noise.models",))
 CASE_STUDIES = Registry("case study", ("repro.systems",))
+ATTACK_TEMPLATES = Registry("attack template", ("repro.attacks.templates",))
 
 REGISTRIES: dict[str, Registry] = {
     "backend": BACKENDS,
@@ -168,6 +178,7 @@ REGISTRIES: dict[str, Registry] = {
     "detector": DETECTORS,
     "noise_model": NOISE_MODELS,
     "case_study": CASE_STUDIES,
+    "attack_template": ATTACK_TEMPLATES,
 }
 
 
@@ -213,6 +224,11 @@ def available_case_studies() -> list[str]:
     return CASE_STUDIES.available()
 
 
+def available_attack_templates() -> list[str]:
+    """Names of the registered parametric attack templates."""
+    return ATTACK_TEMPLATES.available()
+
+
 def get_case_study(name: str, **kwargs):
     """Build the case study registered under ``name`` (kwargs go to its builder)."""
     return CASE_STUDIES.create(name, **kwargs)
@@ -231,3 +247,8 @@ def get_detector(name: str, **kwargs):
 def get_synthesizer(name: str, **kwargs):
     """Instantiate the synthesizer registered under ``name``."""
     return SYNTHESIZERS.create(name, **kwargs)
+
+
+def get_attack_template(name: str, **kwargs):
+    """Instantiate the attack template registered under ``name``."""
+    return ATTACK_TEMPLATES.create(name, **kwargs)

@@ -1,0 +1,329 @@
+"""Vectorized (fleet-wide) online detector and monitor cores.
+
+Each core advances ``N`` detector instances one sampling instance at a time:
+``step(values)`` takes an ``(N, m)`` block (one residue or measurement vector
+per fleet instance) and returns an ``(N,)`` boolean alarm vector.  All
+internal state — step counters, CUSUM accumulators, dead-zone run lengths,
+previous-measurement buffers — is shaped ``(N, ...)`` so a whole fleet steps
+in a handful of numpy operations.
+
+The cores deliberately reuse the *same* numpy expressions as the offline
+``evaluate`` paths (e.g. :meth:`ThresholdVector.residue_norms` applied to an
+``(N, m)`` block instead of a ``(T, m)`` trace), so a single instance stepped
+online produces bit-identical alarm sequences to the offline detectors; the
+equivalence is locked in by ``tests/test_runtime_online.py``.
+
+:func:`make_batched` adapts any of the library's offline objects — a
+:class:`~repro.detectors.threshold.ThresholdVector`, a residue / CUSUM /
+chi-square detector, or a plant :class:`~repro.monitors.base.Monitor` — into
+the matching core.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.detectors.chi_square import ChiSquareDetector
+from repro.detectors.cusum import CusumDetector
+from repro.detectors.residue import ResidueDetector
+from repro.detectors.threshold import ThresholdVector
+from repro.monitors.base import Monitor
+from repro.monitors.composite import CompositeMonitor
+from repro.monitors.deadzone import DeadZoneMonitor
+from repro.monitors.gradient_monitor import GradientMonitor
+from repro.monitors.range_monitor import RangeMonitor
+from repro.monitors.relation_monitor import RelationMonitor
+from repro.utils.validation import ValidationError, check_positive
+
+
+class BatchDetector(abc.ABC):
+    """Base class of all fleet-wide online cores.
+
+    Attributes
+    ----------
+    consumes:
+        Which per-step signal the core expects: ``"residues"`` (Kalman
+        innovations) or ``"measurements"`` (raw sensor vectors, for plant
+        monitors).
+    n_instances:
+        Number of fleet instances stepped in parallel.
+    """
+
+    consumes: str = "residues"
+
+    def __init__(self, n_instances: int):
+        self.n_instances = int(check_positive("n_instances", n_instances))
+        self._step_index = 0
+
+    @property
+    def step_index(self) -> int:
+        """Number of sampling instances consumed since the last reset."""
+        return self._step_index
+
+    @abc.abstractmethod
+    def step(self, values: np.ndarray) -> np.ndarray:
+        """Advance one sampling instance; ``values`` is ``(N, m)``, returns ``(N,)`` alarms."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return every instance to its initial (pre-trace) state."""
+
+    @property
+    @abc.abstractmethod
+    def state(self) -> dict:
+        """Snapshot of the per-instance state (arrays are copies)."""
+
+    # ------------------------------------------------------------------
+    def _check_block(self, values: np.ndarray) -> np.ndarray:
+        values = np.atleast_2d(np.asarray(values, dtype=float))
+        if values.shape[0] != self.n_instances:
+            raise ValidationError(
+                f"expected a block of {self.n_instances} instances, got {values.shape[0]}"
+            )
+        return values
+
+    def run(self, values: np.ndarray) -> np.ndarray:
+        """Step through a ``(T, N, m)`` block; returns ``(T, N)`` alarm flags."""
+        values = np.asarray(values, dtype=float)
+        alarms = np.zeros(values.shape[:2], dtype=bool)
+        for k in range(values.shape[0]):
+            alarms[k] = self.step(values[k])
+        return alarms
+
+
+class BatchThresholdDetector(BatchDetector):
+    """Fleet-wide online form of the paper's residue threshold detector.
+
+    Compares the (weighted) residue norm of every instance against the
+    per-instance-step threshold ``Th[k]``; past the stored threshold length
+    the last value is held, matching :meth:`ThresholdVector.effective`.
+    """
+
+    def __init__(self, threshold: ThresholdVector, n_instances: int = 1):
+        super().__init__(n_instances)
+        if not isinstance(threshold, ThresholdVector):
+            threshold = ThresholdVector(np.asarray(threshold, dtype=float))
+        self.threshold = threshold
+
+    def step(self, residues: np.ndarray) -> np.ndarray:
+        residues = self._check_block(residues)
+        norms = self.threshold.residue_norms(residues)
+        index = min(self._step_index, self.threshold.length - 1)
+        self._step_index += 1
+        return norms >= self.threshold.values[index] - 1e-12
+
+    def reset(self) -> None:
+        self._step_index = 0
+
+    @property
+    def state(self) -> dict:
+        return {"step": self._step_index}
+
+
+class BatchCusum(BatchDetector):
+    """Fleet-wide online CUSUM: one ``(N,)`` accumulator advanced per step."""
+
+    def __init__(self, detector: CusumDetector, n_instances: int = 1):
+        super().__init__(n_instances)
+        self.detector = detector
+        self._statistic = np.zeros(self.n_instances)
+
+    def step(self, residues: np.ndarray) -> np.ndarray:
+        residues = self._check_block(residues)
+        norms = self.detector._norms(residues)
+        self._statistic = np.maximum(0.0, self._statistic + norms - self.detector.bias)
+        self._step_index += 1
+        return self._statistic >= self.detector.threshold
+
+    def reset(self) -> None:
+        self._step_index = 0
+        self._statistic = np.zeros(self.n_instances)
+
+    @property
+    def state(self) -> dict:
+        return {"step": self._step_index, "statistic": self._statistic.copy()}
+
+
+class BatchChiSquare(BatchDetector):
+    """Fleet-wide online chi-square detector (stateless per sample)."""
+
+    def __init__(self, detector: ChiSquareDetector, n_instances: int = 1):
+        super().__init__(n_instances)
+        self.detector = detector
+
+    def step(self, residues: np.ndarray) -> np.ndarray:
+        residues = self._check_block(residues)
+        statistics = self.detector.statistics(residues)
+        self._step_index += 1
+        return statistics >= self.detector.threshold
+
+    def reset(self) -> None:
+        self._step_index = 0
+
+    @property
+    def state(self) -> dict:
+        return {"step": self._step_index}
+
+
+# ----------------------------------------------------------------------
+# Plant monitors
+# ----------------------------------------------------------------------
+def _batch_satisfied(
+    monitor: Monitor,
+    previous: np.ndarray | None,
+    current: np.ndarray,
+    dt: float,
+) -> np.ndarray:
+    """Per-instance "check passes at this sample" for one monitor.
+
+    Mirrors the per-sample expressions of each monitor's offline
+    ``satisfied`` (including the 1e-12 comparison slack) over the instance
+    axis.  Monitors outside the built-in hierarchy fall back to evaluating
+    their own ``satisfied`` on a two-sample window per instance, which stays
+    correct for any monitor with at most one sample of lookback.
+    """
+    if isinstance(monitor, RangeMonitor):
+        values = current[:, monitor.channel]
+        return (values >= monitor.low - 1e-12) & (values <= monitor.high + 1e-12)
+    if isinstance(monitor, RelationMonitor):
+        mismatch = (
+            current[:, monitor.channel_a]
+            - monitor.gain * current[:, monitor.channel_b]
+            - monitor.offset
+        )
+        return np.abs(mismatch) <= monitor.allowed_diff + 1e-12
+    if isinstance(monitor, GradientMonitor):
+        if previous is None:
+            return np.ones(current.shape[0], dtype=bool)
+        rates = np.abs(current[:, monitor.channel] - previous[:, monitor.channel]) / float(dt)
+        return rates <= monitor.max_rate + 1e-12
+    if isinstance(monitor, DeadZoneMonitor):
+        return _batch_satisfied(monitor.inner, previous, current, dt)
+    if isinstance(monitor, CompositeMonitor):
+        result = np.ones(current.shape[0], dtype=bool)
+        for member in monitor.monitors:
+            result &= _batch_satisfied(member, previous, current, dt)
+        return result
+    # Generic fallback: per-instance two-sample window (slow path).
+    result = np.zeros(current.shape[0], dtype=bool)
+    for i in range(current.shape[0]):
+        if previous is None:
+            window = current[i : i + 1]
+        else:
+            window = np.vstack([previous[i], current[i]])
+        result[i] = bool(monitor.satisfied(window, dt)[-1])
+    return result
+
+
+class _MonitorNode:
+    """Per-monitor alarm state within a :class:`BatchMonitor` tree."""
+
+    def __init__(self, monitor: Monitor, n_instances: int):
+        self.monitor = monitor
+        self.n_instances = n_instances
+        if isinstance(monitor, DeadZoneMonitor):
+            self.run_length = np.zeros(n_instances, dtype=int)
+        elif isinstance(monitor, CompositeMonitor):
+            self.children = [_MonitorNode(member, n_instances) for member in monitor.monitors]
+
+    def alarms(self, previous: np.ndarray | None, current: np.ndarray, dt: float) -> np.ndarray:
+        if isinstance(self.monitor, CompositeMonitor):
+            result = np.zeros(current.shape[0], dtype=bool)
+            for child in self.children:
+                result |= child.alarms(previous, current, dt)
+            return result
+        if isinstance(self.monitor, DeadZoneMonitor):
+            violated = ~_batch_satisfied(self.monitor.inner, previous, current, dt)
+            self.run_length = np.where(violated, self.run_length + 1, 0)
+            return self.run_length >= self.monitor.dead_zone_samples
+        return ~_batch_satisfied(self.monitor, previous, current, dt)
+
+    def reset(self) -> None:
+        if isinstance(self.monitor, DeadZoneMonitor):
+            self.run_length = np.zeros(self.n_instances, dtype=int)
+        elif isinstance(self.monitor, CompositeMonitor):
+            for child in self.children:
+                child.reset()
+
+    def snapshot(self, state: dict, prefix: str) -> None:
+        if isinstance(self.monitor, DeadZoneMonitor):
+            state[f"{prefix}{self.monitor.name}.run_length"] = self.run_length.copy()
+        elif isinstance(self.monitor, CompositeMonitor):
+            for index, child in enumerate(self.children):
+                child.snapshot(state, f"{prefix}[{index}]")
+
+
+class BatchMonitor(BatchDetector):
+    """Fleet-wide online form of a plant monitor (``mdc``).
+
+    Consumes *measurements* instead of residues; keeps one previous
+    measurement per instance (for gradient monitors) and one dead-zone
+    run-length counter per instance per dead-zoned member.
+    """
+
+    consumes = "measurements"
+
+    def __init__(self, monitor: Monitor, dt: float, n_instances: int = 1):
+        super().__init__(n_instances)
+        self.monitor = monitor
+        self.dt = float(check_positive("dt", dt))
+        self._root = _MonitorNode(monitor, self.n_instances)
+        self._previous: np.ndarray | None = None
+
+    def step(self, measurements: np.ndarray) -> np.ndarray:
+        measurements = self._check_block(measurements)
+        alarms = self._root.alarms(self._previous, measurements, self.dt)
+        self._previous = measurements.copy()
+        self._step_index += 1
+        return alarms
+
+    def reset(self) -> None:
+        self._step_index = 0
+        self._previous = None
+        self._root.reset()
+
+    @property
+    def state(self) -> dict:
+        state: dict = {"step": self._step_index}
+        if self._previous is not None:
+            state["previous"] = self._previous.copy()
+        self._root.snapshot(state, "")
+        return state
+
+
+# ----------------------------------------------------------------------
+def make_batched(obj, n_instances: int, dt: float | None = None) -> BatchDetector:
+    """Adapt any detector-shaped object into a fleet-wide :class:`BatchDetector`.
+
+    Accepts an existing :class:`BatchDetector` (instance count must match), a
+    scalar online wrapper from :mod:`repro.runtime.online` (re-batched via its
+    ``as_batch``), a :class:`ThresholdVector` or any of the offline detector
+    classes, or a plant :class:`Monitor` (requires ``dt``).
+    """
+    if isinstance(obj, BatchDetector):
+        if obj.n_instances != n_instances:
+            raise ValidationError(
+                f"batched detector is sized for {obj.n_instances} instances, fleet has {n_instances}"
+            )
+        return obj
+    as_batch = getattr(obj, "as_batch", None)
+    if as_batch is not None:
+        return as_batch(n_instances)
+    if isinstance(obj, ThresholdVector):
+        return BatchThresholdDetector(obj, n_instances)
+    if isinstance(obj, ResidueDetector):
+        return BatchThresholdDetector(obj.threshold, n_instances)
+    if isinstance(obj, CusumDetector):
+        return BatchCusum(obj, n_instances)
+    if isinstance(obj, ChiSquareDetector):
+        return BatchChiSquare(obj, n_instances)
+    if isinstance(obj, Monitor):
+        if dt is None:
+            raise ValidationError("adapting a plant monitor requires the sampling period dt")
+        return BatchMonitor(obj, dt, n_instances)
+    raise ValidationError(
+        f"cannot build an online detector from {type(obj).__name__}; expected a "
+        "ThresholdVector, detector, Monitor, or online/batched wrapper"
+    )

@@ -1,0 +1,132 @@
+"""Alarm events and pluggable event sinks for the fleet runtime.
+
+Every alarm a deployed detector raises is an :class:`AlarmEvent` — which
+fleet instance, at which sampling instance, from which detector.  The
+:class:`~repro.runtime.fleet.FleetSimulator` pushes batches of events into
+:class:`EventSink` objects at the end of every step; ship your own sink to
+forward alarms to a message bus, a metrics system, or an incident pipeline.
+
+Two sinks ship with the library: :class:`InMemorySink` (collects events in a
+list, with small query helpers for tests and reports) and :class:`JSONLSink`
+(appends one JSON object per event to a file, the standard interchange form
+for offline analysis).
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """One alarm raised by one detector on one fleet instance.
+
+    Attributes
+    ----------
+    instance:
+        Fleet instance id (``0 .. N-1``).
+    step:
+        0-based sampling instance at which the alarm fired.
+    detector:
+        Label of the detector that raised it.
+    first:
+        True when this is the instance's first alarm from this detector
+        (useful for time-to-alarm analysis without replaying the stream).
+    """
+
+    instance: int
+    step: int
+    detector: str
+    first: bool = False
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return asdict(self)
+
+
+class EventSink(abc.ABC):
+    """Receives alarm-event batches from a running fleet."""
+
+    @abc.abstractmethod
+    def emit(self, events: Sequence[AlarmEvent]) -> None:
+        """Consume one batch of events (all from the same fleet step)."""
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InMemorySink(EventSink):
+    """Collects every event in a list (the default sink for tests and reports)."""
+
+    def __init__(self) -> None:
+        self.events: list[AlarmEvent] = []
+
+    def emit(self, events: Sequence[AlarmEvent]) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[AlarmEvent]:
+        return iter(self.events)
+
+    def by_detector(self, label: str) -> list[AlarmEvent]:
+        """All events raised by the detector with the given label."""
+        return [event for event in self.events if event.detector == label]
+
+    def by_instance(self, instance: int) -> list[AlarmEvent]:
+        """All events raised on one fleet instance."""
+        return [event for event in self.events if event.instance == instance]
+
+    def first_alarms(self) -> dict[tuple[str, int], int]:
+        """Mapping ``(detector, instance) -> step`` of each first alarm."""
+        return {
+            (event.detector, event.instance): event.step
+            for event in self.events
+            if event.first
+        }
+
+
+class JSONLSink(EventSink):
+    """Appends one JSON object per event to a file (JSON Lines format)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, events: Sequence[AlarmEvent]) -> None:
+        if not events:
+            return
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        for event in events:
+            self._handle.write(json.dumps(event.to_dict()) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read(path: str | Path) -> list[AlarmEvent]:
+        """Load a JSONL event file back into :class:`AlarmEvent` objects."""
+        events = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(AlarmEvent(**json.loads(line)))
+        return events
+
+
+__all__ = ["AlarmEvent", "EventSink", "InMemorySink", "JSONLSink"]

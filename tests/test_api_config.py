@@ -229,3 +229,12 @@ class TestExperimentSpec:
     def test_far_dict_coerced(self):
         spec = ExperimentSpec(far={"count": 10})
         assert spec.far == FARConfig(count=10)
+
+
+class TestRuntimeConfigExport:
+    def test_runtime_config_is_part_of_the_api_package(self):
+        from repro.api import RuntimeConfig, run_fleet
+
+        config = RuntimeConfig(n_instances=5, static_thresholds={"paper": 1.0})
+        assert RuntimeConfig.from_json(config.to_json()) == config
+        assert callable(run_fleet)

@@ -100,6 +100,75 @@ class TestFalseAlarmEvaluator:
             FalseAlarmEvaluator(problem, count=5)
 
 
+class TestVectorizedAgainstSequentialReference:
+    """The batched FAR path must reproduce the historical per-trace loop."""
+
+    @staticmethod
+    def sequential_rates(problem, detectors, count, seed, initial_state_spread=None):
+        """The pre-vectorization implementation: one Python simulation per trial."""
+        from repro.utils.rng import spawn_rngs
+
+        noise_model = FalseAlarmEvaluator.default_noise_model(problem)
+        kept = []
+        discarded_pfc = discarded_mdc = 0
+        for rng in spawn_rngs(seed, count):
+            measurement_noise = noise_model.sample(problem.horizon, rng)
+            x0 = None
+            if initial_state_spread is not None:
+                offset = rng.uniform(-1.0, 1.0, size=initial_state_spread.size)
+                x0 = problem.x0 + offset * initial_state_spread
+            trace = problem.simulate(
+                attack=None, with_noise=False, x0=x0, measurement_noise=measurement_noise
+            )
+            if not problem.pfc_satisfied(trace):
+                discarded_pfc += 1
+                continue
+            if problem.mdc_alarm(trace):
+                discarded_mdc += 1
+                continue
+            kept.append(trace)
+        rates = {
+            label: float(
+                np.mean([bool(np.any(threshold.alarms(trace.residues))) for trace in kept])
+            )
+            for label, threshold in detectors.items()
+        }
+        return rates, len(kept), discarded_pfc, discarded_mdc
+
+    @pytest.mark.parametrize("spread", [None, np.array([0.05, 0.0])])
+    def test_identical_rates_and_bookkeeping(self, trajectory_problem, spread):
+        detectors = {
+            "loose": trajectory_problem.static_threshold(1.0),
+            "mid": trajectory_problem.static_threshold(0.02),
+            "tight": trajectory_problem.static_threshold(1e-6),
+        }
+        evaluator = FalseAlarmEvaluator(
+            trajectory_problem, count=60, seed=11, initial_state_spread=spread
+        )
+        study = evaluator.evaluate(detectors)
+        rates, kept, discarded_pfc, discarded_mdc = self.sequential_rates(
+            trajectory_problem, detectors, count=60, seed=11, initial_state_spread=spread
+        )
+        assert study.kept == kept
+        assert study.discarded_pfc == discarded_pfc
+        assert study.discarded_mdc == discarded_mdc
+        assert study.rates == rates
+
+    def test_traces_match_the_sequential_simulator(self, trajectory_problem):
+        evaluator = FalseAlarmEvaluator(trajectory_problem, count=10, seed=5, filter_pfc=False)
+        traces = evaluator.benign_traces()
+        from repro.utils.rng import spawn_rngs
+
+        noise_model = evaluator.noise_model
+        for trace, rng in zip(traces, spawn_rngs(5, 10)):
+            reference = trajectory_problem.simulate(
+                measurement_noise=noise_model.sample(trajectory_problem.horizon, rng)
+            )
+            np.testing.assert_allclose(
+                trace.residues, reference.residues, rtol=1e-10, atol=1e-12
+            )
+
+
 class TestPipeline:
     def test_full_run_on_trajectory(self, trajectory_problem):
         pipeline = SynthesisPipeline(

@@ -7,6 +7,7 @@ from repro.falsification.base import AttackBackend
 from repro.falsification.lp_backend import LPAttackBackend
 from repro.falsification.registry import get_backend
 from repro.registry import (
+    ATTACK_TEMPLATES,
     BACKENDS,
     CASE_STUDIES,
     DETECTORS,
@@ -14,6 +15,7 @@ from repro.registry import (
     SYNTHESIZERS,
     Registry,
     RegistryError,
+    available_attack_templates,
     available_backends,
     available_case_studies,
     available_detectors,
@@ -26,10 +28,17 @@ from repro.utils.validation import ValidationError
 
 
 class TestBuiltinRegistrations:
-    def test_all_five_registries_resolve_the_legacy_names(self):
+    def test_all_six_registries_resolve_the_builtin_names(self):
         assert set(available_backends()) == {"lp", "smt", "optimizer"}
         assert set(available_synthesizers()) == {"pivot", "stepwise", "static"}
-        assert set(available_detectors()) == {"residue", "chi-square", "cusum"}
+        assert set(available_detectors()) == {
+            "residue",
+            "chi-square",
+            "cusum",
+            "online-residue",
+            "online-chi-square",
+            "online-cusum",
+        }
         assert set(available_noise_models()) == {
             "zero",
             "gaussian",
@@ -44,6 +53,14 @@ class TestBuiltinRegistrations:
             "cruise",
             "pendulum",
         }
+        assert set(available_attack_templates()) == {
+            "none",
+            "bias",
+            "ramp",
+            "surge",
+            "geometric",
+            "replay",
+        }
 
     def test_resolved_objects_are_the_public_classes(self):
         assert BACKENDS.get("lp") is LPAttackBackend
@@ -51,7 +68,58 @@ class TestBuiltinRegistrations:
         assert SYNTHESIZERS.get("stepwise") is repro.StepwiseThresholdSynthesizer
         assert SYNTHESIZERS.get("static") is repro.StaticThresholdSynthesizer
         assert DETECTORS.get("cusum") is repro.CusumDetector
+        assert DETECTORS.get("online-cusum") is repro.OnlineCusum
+        assert DETECTORS.get("online-residue") is repro.OnlineResidueDetector
         assert CASE_STUDIES.get("vsc") is repro.build_vsc_case_study
+
+    def test_classical_baselines_listed_and_constructible(self):
+        # The classical baseline detectors are first-class registry citizens:
+        # available_detectors() lists them and create() builds working instances.
+        assert {"cusum", "chi-square"} <= set(available_detectors())
+        cusum = DETECTORS.create("cusum", bias=0.1, threshold=1.0)
+        assert cusum.detects([[5.0], [5.0], [5.0], [5.0], [5.0], [5.0], [5.0], [5.0]])
+        import numpy as np
+
+        chi = DETECTORS.create("chi-square", innovation_cov=np.eye(2), threshold=9.0)
+        assert not chi.detects(np.zeros((4, 2)))
+
+    def test_unknown_detector_error_lists_every_registered_name(self):
+        with pytest.raises(RegistryError) as excinfo:
+            DETECTORS.get("sprt")
+        message = str(excinfo.value)
+        for name in (
+            "residue",
+            "chi-square",
+            "cusum",
+            "online-residue",
+            "online-chi-square",
+            "online-cusum",
+        ):
+            assert name in message
+        # The message stays dynamic: a user registration shows up immediately.
+        DETECTORS.register("test-sprt", object)
+        try:
+            with pytest.raises(RegistryError, match="test-sprt"):
+                DETECTORS.get("sprt")
+        finally:
+            DETECTORS.unregister("test-sprt")
+        with pytest.raises(RegistryError) as excinfo:
+            DETECTORS.get("sprt")
+        assert "test-sprt" not in str(excinfo.value)
+
+    def test_unknown_attack_template_error_lists_available(self):
+        with pytest.raises(RegistryError) as excinfo:
+            ATTACK_TEMPLATES.get("square-wave")
+        message = str(excinfo.value)
+        for name in ("bias", "ramp", "surge", "geometric", "replay", "none"):
+            assert name in message
+
+    def test_attack_template_create(self):
+        template = ATTACK_TEMPLATES.create("bias", bias=0.5, start=3)
+        attack = template.generate(10, 2)
+        assert attack.values.shape == (10, 2)
+        assert attack.support().min() == 3
+        assert repro.get_attack_template("none").generate(4, 1).is_zero()
 
     def test_create_forwards_kwargs(self):
         case = CASE_STUDIES.create("dcmotor", horizon=12)

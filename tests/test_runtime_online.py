@@ -1,0 +1,237 @@
+"""Online/offline equivalence of the runtime detector wrappers.
+
+Property-style: for shared random traces (benign and attacked), every online
+detector/monitor must produce *bit-identical* alarm sequences to its offline
+``evaluate`` counterpart, and the fleet-wide batched cores must agree with
+the scalar online wrappers instance for instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import get_case_study
+from repro.attacks.templates import BiasAttack, GeometricAttack, RampAttack
+from repro.detectors.chi_square import ChiSquareDetector
+from repro.detectors.cusum import CusumDetector
+from repro.detectors.residue import ResidueDetector
+from repro.detectors.threshold import ThresholdVector
+from repro.monitors.composite import CompositeMonitor
+from repro.monitors.deadzone import DeadZoneMonitor
+from repro.monitors.range_monitor import RangeMonitor
+from repro.runtime.batch import make_batched
+from repro.runtime.online import (
+    OnlineChiSquare,
+    OnlineCusum,
+    OnlineMonitor,
+    OnlineResidueDetector,
+    make_online,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def vsc_case():
+    return get_case_study("vsc")
+
+
+def shared_traces(problem, count=6):
+    """Benign and attacked traces of one problem (fixed seeds, varied templates)."""
+    horizon, m = problem.horizon, problem.n_outputs
+    templates = [
+        None,
+        None,
+        BiasAttack(bias=0.05, start=3),
+        RampAttack(slope=0.01, start=5),
+        GeometricAttack(initial=1e-3, ratio=1.2),
+        BiasAttack(bias=-0.2),
+    ]
+    traces = []
+    for seed in range(count):
+        template = templates[seed % len(templates)]
+        attack = None if template is None else template.generate(horizon, m)
+        traces.append(problem.simulate(attack=attack, with_noise=True, seed=seed))
+    return traces
+
+
+def problems(dcmotor_problem, vsc_case):
+    return [dcmotor_problem, vsc_case.problem]
+
+
+class TestResidueDetectorEquivalence:
+    def test_static_threshold_bit_identical(self, dcmotor_problem, vsc_case):
+        for problem in problems(dcmotor_problem, vsc_case):
+            detector = ResidueDetector(problem.static_threshold(0.02))
+            online = OnlineResidueDetector(detector.threshold)
+            for trace in shared_traces(problem):
+                offline = detector.evaluate(trace.residues).alarms
+                assert np.array_equal(online.run(trace.residues), offline)
+
+    def test_variable_threshold_bit_identical(self, dcmotor_problem, vsc_case):
+        for problem in problems(dcmotor_problem, vsc_case):
+            # A synthesized-shaped (monotone decreasing staircase) threshold
+            # carrying the problem's norm and channel weights.
+            threshold = problem.fresh_threshold()
+            values = np.linspace(0.3, 0.01, threshold.length)
+            for index, value in enumerate(values):
+                threshold.set_value(index, value)
+            detector = ResidueDetector(threshold)
+            online = OnlineResidueDetector(threshold)
+            for trace in shared_traces(problem):
+                offline = detector.evaluate(trace.residues).alarms
+                assert np.array_equal(online.run(trace.residues), offline)
+
+    def test_threshold_shorter_than_trace_holds_last_value(self):
+        threshold = ThresholdVector(np.array([0.5, 0.2]))
+        detector = ResidueDetector(threshold)
+        online = OnlineResidueDetector(threshold)
+        residues = np.array([[0.1], [0.1], [0.3], [0.1], [0.25]])
+        assert np.array_equal(online.run(residues), detector.evaluate(residues).alarms)
+
+
+class TestCusumEquivalence:
+    @pytest.mark.parametrize("norm", [1, 2, "inf"])
+    def test_bit_identical(self, dcmotor_problem, vsc_case, norm):
+        for problem in problems(dcmotor_problem, vsc_case):
+            detector = CusumDetector(bias=0.01, threshold=0.05, norm=norm)
+            online = OnlineCusum.from_detector(detector)
+            for trace in shared_traces(problem):
+                offline = detector.evaluate(trace.residues).alarms
+                assert np.array_equal(online.run(trace.residues), offline)
+
+    def test_statistic_matches_offline(self, dcmotor_problem):
+        detector = CusumDetector(bias=0.005, threshold=1.0)
+        online = OnlineCusum.from_detector(detector)
+        trace = shared_traces(dcmotor_problem, count=1)[0]
+        online.run(trace.residues)
+        assert online.statistic == detector.statistics(trace.residues)[-1]
+
+
+class TestChiSquareEquivalence:
+    def test_bit_identical(self, dcmotor_problem, vsc_case):
+        for problem in problems(dcmotor_problem, vsc_case):
+            m = problem.n_outputs
+            detector = ChiSquareDetector.from_false_alarm_probability(
+                np.eye(m) * 1e-4, 0.05
+            )
+            online = OnlineChiSquare.from_detector(detector)
+            for trace in shared_traces(problem):
+                offline = detector.evaluate(trace.residues).alarms
+                assert np.array_equal(online.run(trace.residues), offline)
+
+
+class TestMonitorEquivalence:
+    def test_every_vsc_monitor_bit_identical(self, vsc_case):
+        problem = vsc_case.problem
+        dt = problem.dt
+        members = list(problem.mdc) + [problem.mdc]
+        # Exercise attacked traces too: monitors react to the forged
+        # measurements, not the residues.
+        for monitor in members:
+            online = OnlineMonitor(monitor, dt)
+            for trace in shared_traces(problem):
+                offline = monitor.alarms(trace.measurements, dt)
+                assert np.array_equal(online.run(trace.measurements), offline)
+
+    def test_deadzone_run_counter_spans_steps(self):
+        inner = RangeMonitor.symmetric(0, 0.1)
+        monitor = DeadZoneMonitor(inner=inner, dead_zone_samples=3)
+        online = OnlineMonitor(monitor, dt=1.0)
+        measurements = np.array([[0.5], [0.5], [0.05], [0.5], [0.5], [0.5], [0.5]])
+        offline = monitor.alarms(measurements, 1.0)
+        assert np.array_equal(online.run(measurements), offline)
+        assert offline.tolist() == [False, False, False, False, False, True, True]
+
+    def test_custom_monitor_falls_back_to_windowed_evaluation(self, vsc_case):
+        class EveryOtherMonitor(CompositeMonitor.__mro__[1]):  # Monitor ABC
+            name = "every-other"
+
+            def satisfied(self, measurements, dt):
+                measurements = np.atleast_2d(measurements)
+                # Violated whenever the first channel moved since the
+                # previous sample (1-step lookback, like a gradient check).
+                result = np.ones(measurements.shape[0], dtype=bool)
+                if measurements.shape[0] > 1:
+                    result[1:] = np.diff(measurements[:, 0]) == 0.0
+                return result
+
+            def conditions_at(self, k, dt):
+                return []
+
+        problem = vsc_case.problem
+        monitor = EveryOtherMonitor()
+        online = OnlineMonitor(monitor, problem.dt)
+        trace = shared_traces(problem, count=1)[0]
+        offline = monitor.alarms(trace.measurements, problem.dt)
+        assert np.array_equal(online.run(trace.measurements), offline)
+
+
+class TestOnlineAPI:
+    def test_step_reset_state(self, dcmotor_problem):
+        online = OnlineResidueDetector(dcmotor_problem.static_threshold(0.01))
+        trace = shared_traces(dcmotor_problem, count=1)[0]
+        first = bool(online.step(trace.residues[0]))
+        assert isinstance(first, bool)
+        assert online.step_index == 1
+        assert online.state["step"] == 1
+        online.reset()
+        assert online.step_index == 0
+
+    def test_cusum_state_snapshot_is_a_copy(self):
+        online = OnlineCusum(bias=0.01, threshold=1.0)
+        online.step([0.5])
+        snapshot = online.state
+        snapshot["statistic"][0] = 123.0
+        assert online.statistic != 123.0
+
+    def test_make_online_dispatch(self, dcmotor_problem):
+        threshold = dcmotor_problem.static_threshold(0.1)
+        assert isinstance(make_online(threshold), OnlineResidueDetector)
+        assert isinstance(make_online(ResidueDetector(threshold)), OnlineResidueDetector)
+        assert isinstance(make_online(CusumDetector(bias=0.1, threshold=1.0)), OnlineCusum)
+        chi = ChiSquareDetector(innovation_cov=np.eye(1), threshold=5.0)
+        assert isinstance(make_online(chi), OnlineChiSquare)
+        monitor = RangeMonitor.symmetric(0, 1.0)
+        assert isinstance(make_online(monitor, dt=0.1), OnlineMonitor)
+        online = make_online(threshold)
+        assert make_online(online) is online
+
+    def test_make_online_monitor_needs_dt(self):
+        with pytest.raises(ValidationError):
+            make_online(RangeMonitor.symmetric(0, 1.0))
+
+    def test_make_online_rejects_unknown_objects(self):
+        with pytest.raises(ValidationError):
+            make_online(object())
+
+
+class TestBatchedCores:
+    def test_batched_matches_scalar_instance_for_instance(self, vsc_case):
+        problem = vsc_case.problem
+        traces = shared_traces(problem)
+        residues = np.stack([trace.residues for trace in traces])  # (N, T, m)
+        measurements = np.stack([trace.measurements for trace in traces])
+        bank = {
+            "residue": problem.static_threshold(0.05),
+            "cusum": CusumDetector(bias=0.01, threshold=0.05),
+            "chi": ChiSquareDetector(innovation_cov=np.eye(2) * 1e-4, threshold=5.0),
+            "mdc": problem.mdc,
+        }
+        for label, obj in bank.items():
+            core = make_batched(obj, residues.shape[0], dt=problem.dt)
+            feed = residues if core.consumes == "residues" else measurements
+            batched = core.run(np.swapaxes(feed, 0, 1))  # (T, N)
+            online = make_online(obj, dt=problem.dt)
+            for i, trace in enumerate(traces):
+                scalar = online.run(feed[i])
+                assert np.array_equal(batched[:, i], scalar), label
+
+    def test_batched_instance_count_checked(self, dcmotor_problem):
+        core = make_batched(dcmotor_problem.static_threshold(0.1), 4)
+        with pytest.raises(ValidationError):
+            core.step(np.zeros((3, 1)))
+        with pytest.raises(ValidationError):
+            make_batched(core, 5)
+
+    def test_make_batched_rejects_unknown_objects(self):
+        with pytest.raises(ValidationError):
+            make_batched(object(), 3)
