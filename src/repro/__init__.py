@@ -60,6 +60,7 @@ from repro.core import (
     CompositeCriterion,
     synthesize_attack,
     AttackSynthesisResult,
+    SynthesisSession,
     PivotThresholdSynthesizer,
     StepwiseThresholdSynthesizer,
     StaticThresholdSynthesizer,
@@ -190,6 +191,7 @@ __all__ = [
     "StateBoundCriterion",
     "CompositeCriterion",
     "synthesize_attack",
+    "SynthesisSession",
     "AttackSynthesisResult",
     "PivotThresholdSynthesizer",
     "StepwiseThresholdSynthesizer",

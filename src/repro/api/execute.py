@@ -6,15 +6,24 @@ detector), threshold synthesis per algorithm, FAR study — driven by the
 declarative configs in :mod:`repro.api.config`.  The legacy
 :class:`~repro.core.pipeline.SynthesisPipeline` is a thin adapter over this
 function.
+
+One :class:`~repro.core.session.SynthesisSession` is opened per call and
+shared by the vulnerability check and every synthesis algorithm, so the
+horizon unrolling and the static constraint blocks are built once per
+``(problem, backend)`` pair — the batch runner inherits this per-group
+sharing because each of its ``(case_study, backend)`` groups is exactly one
+``run_pipeline`` call.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 from repro.api.config import FARConfig, SynthesisConfig
-from repro.core.attack_synthesis import AttackSynthesisResult, synthesize_attack
+from repro.core.attack_synthesis import AttackSynthesisResult
 from repro.core.far import FalseAlarmStudy
+from repro.core.session import SynthesisSession
 from repro.core.synthesis_result import ThresholdSynthesisResult
 
 
@@ -95,12 +104,20 @@ def run_pipeline(
         synthesis = SynthesisConfig()
     solver = backend if backend is not None else synthesis.build_backend()
 
-    vulnerability = synthesize_attack(problem, threshold=None, backend=solver)
+    # One incremental session serves the vulnerability check and every
+    # algorithm: the encoding's static blocks are built once per call.
+    session = SynthesisSession(problem, backend=solver)
+    vulnerability = session.solve(None)
     report = PipelineReport(vulnerability=vulnerability)
 
     for name in synthesis.algorithms:
         synthesizer = synthesis.build_synthesizer(name, backend=solver)
-        report.synthesis[name] = synthesizer.synthesize(problem)
+        # Third-party synthesizers registered into SYNTHESIZERS may predate
+        # the session protocol; only pass the shared session when accepted.
+        if "session" in inspect.signature(synthesizer.synthesize).parameters:
+            report.synthesis[name] = synthesizer.synthesize(problem, session=session)
+        else:
+            report.synthesis[name] = synthesizer.synthesize(problem)
 
     if far is not None and far.count > 0 and report.synthesis:
         detectors = {

@@ -4,7 +4,10 @@
 into :class:`~repro.api.config.ExperimentUnit` cells, groups the cells that
 share a ``(case_study, backend)`` pair into one
 :func:`~repro.api.execute.run_pipeline` call — so the Algorithm 1
-vulnerability check and the Monte-Carlo FAR population are computed once per
+vulnerability check, the incremental
+:class:`~repro.core.session.SynthesisSession` (one encoding + solver state
+for every synthesis round of every algorithm in the group) and the
+Monte-Carlo FAR population are all shared once per
 pair instead of once per algorithm — and executes the groups either serially
 (with case studies built once per name) or fanned out over a
 ``multiprocessing`` pool.  Each cell yields one :class:`ExperimentRow`;

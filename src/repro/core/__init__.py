@@ -4,6 +4,7 @@ variable-threshold synthesis for residue-based detectors.
 Module map (paper artefact → implementation):
 
 * Algorithm 1 (``ATTVECSYN``)       → :func:`repro.core.attack_synthesis.synthesize_attack`
+                                      (incremental: :class:`repro.core.session.SynthesisSession`)
 * Algorithm 2 (pivot-based)         → :class:`repro.core.pivot.PivotThresholdSynthesizer`
 * Algorithm 3 (step-wise) + MinAreaRectangle
                                     → :class:`repro.core.stepwise.StepwiseThresholdSynthesizer`,
@@ -25,6 +26,7 @@ from repro.core.problem import SynthesisProblem
 from repro.core.unroll import ClosedLoopUnrolling, AffineConstraint
 from repro.core.encoding import AttackEncoding
 from repro.core.attack_synthesis import AttackSynthesisResult, synthesize_attack
+from repro.core.session import SynthesisSession
 from repro.core.pivot import PivotThresholdSynthesizer
 from repro.core.stepwise import StepwiseThresholdSynthesizer, min_area_rectangle
 from repro.core.static_synthesis import StaticThresholdSynthesizer
@@ -46,6 +48,7 @@ __all__ = [
     "AttackEncoding",
     "AttackSynthesisResult",
     "synthesize_attack",
+    "SynthesisSession",
     "PivotThresholdSynthesizer",
     "StepwiseThresholdSynthesizer",
     "min_area_rectangle",

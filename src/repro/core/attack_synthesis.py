@@ -9,67 +9,22 @@ whether a false-data-injection attack exists that
 
 and if so return the concrete attack vector together with the deterministic
 trace it induces (which the threshold-synthesis loops mine for residues).
+
+This one-shot entry point is a :class:`~repro.core.session.SynthesisSession`
+of length one; loops that query the same problem repeatedly should open a
+session directly so the encoding and the backend's solver state are built
+once instead of once per call.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.attacks.fdi import FDIAttack
-from repro.core.encoding import AttackEncoding
 from repro.core.problem import SynthesisProblem
+from repro.core.session import AttackSynthesisResult, SynthesisSession
 from repro.detectors.threshold import ThresholdVector
-from repro.falsification.registry import get_backend
-from repro.lti.simulate import SimulationTrace
-from repro.utils.results import SolveStatus
 
-
-@dataclass
-class AttackSynthesisResult:
-    """Outcome of one ``ATTVECSYN`` call.
-
-    Attributes
-    ----------
-    status:
-        ``SAT`` — stealthy successful attack found; ``UNSAT`` — provably none
-        exists (under the backend's encoding); ``UNKNOWN`` — undecided.
-    attack:
-        The synthesized attack vector (``None`` unless ``SAT``).
-    trace:
-        Deterministic (noiseless) closed-loop trace under the attack.
-    residue_norms:
-        Per-sample residue norms of that trace (the quantities the
-        threshold-synthesis algorithms pivot on).
-    initial_state:
-        The initial plant state chosen by the solver (equals the problem's
-        ``x0`` unless an initial box was given).
-    verified:
-        True when re-simulating the attack confirmed stealth and pfc
-        violation (a consistency check between encoder and simulator).
-    diagnostics:
-        Backend statistics.
-    """
-
-    status: SolveStatus
-    attack: FDIAttack | None = None
-    trace: SimulationTrace | None = None
-    residue_norms: np.ndarray | None = None
-    initial_state: np.ndarray | None = None
-    verified: bool = False
-    elapsed: float = 0.0
-    diagnostics: dict = field(default_factory=dict)
-
-    def __bool__(self) -> bool:
-        """Truthiness mirrors the paper's ``if ATTVECSYN(...)`` usage."""
-        return self.status is SolveStatus.SAT
-
-    @property
-    def found(self) -> bool:
-        """True when an attack vector was synthesized."""
-        return self.status is SolveStatus.SAT
+__all__ = ["AttackSynthesisResult", "synthesize_attack"]
 
 
 def synthesize_attack(
@@ -99,39 +54,8 @@ def synthesize_attack(
         on the concrete trace.
     """
     start = time.monotonic()
-    encoding = AttackEncoding(problem=problem, threshold=threshold)
-    solver = get_backend(backend, **backend_kwargs)
-    answer = solver.solve(encoding, time_budget=time_budget)
-    elapsed = time.monotonic() - start
-
-    if not answer.found_attack:
-        return AttackSynthesisResult(
-            status=answer.status,
-            elapsed=elapsed,
-            diagnostics=answer.diagnostics,
-        )
-
-    attack = encoding.unrolling.attack_from_theta(answer.theta)
-    initial_state = encoding.unrolling.initial_state_from_theta(answer.theta)
-    trace = problem.simulate(attack=attack, with_noise=False, x0=initial_state)
-    residue_norms = problem.residue_norms(trace.residues)
-
-    verified = True
-    if verify:
-        pfc_ok = problem.pfc_satisfied(trace)
-        mdc_alarm = problem.mdc_alarm(trace)
-        detector_alarm = (
-            problem.detector_alarm(trace, threshold) if threshold is not None else False
-        )
-        verified = (not pfc_ok) and (not mdc_alarm) and (not detector_alarm)
-
-    return AttackSynthesisResult(
-        status=SolveStatus.SAT,
-        attack=attack,
-        trace=trace,
-        residue_norms=residue_norms,
-        initial_state=initial_state,
-        verified=verified,
-        elapsed=elapsed,
-        diagnostics=answer.diagnostics,
-    )
+    session = SynthesisSession(problem, backend=backend, verify=verify, **backend_kwargs)
+    result = session.solve(threshold, time_budget=time_budget)
+    # One-shot elapsed covers the encoding build as well (historical semantics).
+    result.elapsed = time.monotonic() - start
+    return result

@@ -14,10 +14,20 @@ constraints and the third a disjunction of affine constraints (one branch per
 way of violating a ``pfc`` condition).  This module materialises exactly that
 structure; the LP backend enumerates the branches and the SMT backend hands
 the disjunction to the DPLL(T) solver.
+
+The encoding is split along the counterexample-guided synthesis loop's axis
+of change: the horizon unrolling, the monitor (``mdc``) constraints and the
+violation branches depend only on the problem and are built once; the stealth
+constraints depend on the candidate threshold vector and are re-emitted per
+round from a precomputed :class:`StealthTemplate` (fixed rows, per-round
+constants).  :meth:`AttackEncoding.with_threshold` rebinds an encoding to a
+new threshold in O(1) without touching the static blocks, which is what makes
+:class:`~repro.core.session.SynthesisSession` cheap.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +36,59 @@ from repro.core.problem import SynthesisProblem
 from repro.core.unroll import AffineConstraint, ClosedLoopUnrolling
 from repro.detectors.threshold import ThresholdVector
 from repro.utils.validation import ValidationError
+
+# Count of full (static-block) encoding builds, for benchmarks and regression
+# tests of the session engine: a synthesis loop routed through a session
+# should register one build per problem, not one per round.
+_FULL_BUILDS = 0
+
+
+def encoding_build_count() -> int:
+    """Number of full :class:`AttackEncoding` builds since interpreter start."""
+    return _FULL_BUILDS
+
+
+@dataclass(frozen=True)
+class StealthTemplate:
+    """Threshold-independent part of the stealth constraints.
+
+    The stealth condition at instance ``k``, channel ``c`` is the pair
+    ``±z_k[c] / w_c < Th[k]``; only the bound ``Th[k]`` changes between
+    synthesis rounds.  The template stores, in exactly the emission order of
+    the legacy per-round build (``k`` outer, channel inner, ``+`` row before
+    ``-`` row), the scaled rows, scaled constants, per-row sample index and
+    labels, so each round only subtracts the per-row bound.
+
+    Attributes
+    ----------
+    rows:
+        ``(2 * horizon * m, n_variables)`` stacked constraint rows.
+    constants:
+        ``(2 * horizon * m,)`` scaled affine constants (bound not applied).
+    sample_index:
+        ``(2 * horizon * m,)`` sampling instance of each row (for selecting
+        the per-row threshold bound).
+    labels:
+        Constraint labels, aligned with ``rows``.
+    """
+
+    rows: np.ndarray
+    constants: np.ndarray
+    sample_index: np.ndarray
+    labels: tuple[str, ...]
+
+    @property
+    def n_rows(self) -> int:
+        """Total number of template rows (finite and not)."""
+        return self.rows.shape[0]
+
+    def bounds_per_row(self, effective: np.ndarray) -> np.ndarray:
+        """Per-row threshold bound for one effective threshold vector."""
+        return effective[self.sample_index]
+
+    def finite_mask(self, effective: np.ndarray) -> np.ndarray:
+        """Rows whose instance carries a finite threshold (emitted rows)."""
+        return np.isfinite(self.bounds_per_row(effective))
 
 
 @dataclass
@@ -46,8 +109,10 @@ class AttackEncoding:
     problem: SynthesisProblem
     threshold: ThresholdVector | None = None
     unrolling: ClosedLoopUnrolling = None
-    _base: list[AffineConstraint] = field(default_factory=list, repr=False)
+    _static: list[AffineConstraint] = field(default_factory=list, repr=False)
     _branches: list[AffineConstraint] = field(default_factory=list, repr=False)
+    _stealth_template: StealthTemplate | None = field(default=None, repr=False)
+    _stealth: list[AffineConstraint] | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.problem.residue_norm != "inf":
@@ -58,8 +123,12 @@ class AttackEncoding:
             )
         if self.unrolling is None:
             self.unrolling = self.problem.unrolling()
-        self._base = self._build_base_constraints()
+        self._static = self._monitor_constraints()
         self._branches = self._build_violation_branches()
+        self._stealth_template = self._build_stealth_template()
+        self._stealth = None
+        global _FULL_BUILDS
+        _FULL_BUILDS += 1
 
     # ------------------------------------------------------------------
     @property
@@ -74,7 +143,13 @@ class AttackEncoding:
 
     def base_constraints(self) -> list[AffineConstraint]:
         """Stealth + monitor constraints that must all hold."""
-        return list(self._base)
+        if self._stealth is None:
+            self._stealth = self.stealth_constraints(self.threshold)
+        return self._stealth + self._static
+
+    def static_constraints(self) -> list[AffineConstraint]:
+        """The threshold-independent conjunctive block (monitor constraints)."""
+        return list(self._static)
 
     def violation_branches(self) -> list[AffineConstraint]:
         """One constraint per way of violating the performance criterion."""
@@ -83,6 +158,24 @@ class AttackEncoding:
     def variable_bounds(self) -> list[tuple[float | None, float | None]]:
         """Box bounds on the decision variables (attack bound + initial box)."""
         return self.unrolling.variable_bounds(self.problem.attack_bound)
+
+    @property
+    def stealth_template(self) -> StealthTemplate:
+        """The precomputed threshold-independent stealth structure."""
+        return self._stealth_template
+
+    # ------------------------------------------------------------------
+    def with_threshold(self, threshold: ThresholdVector | None) -> "AttackEncoding":
+        """Rebind this encoding to a new candidate threshold in O(1).
+
+        The clone shares the unrolling, the monitor constraints, the
+        violation branches and the stealth template with ``self``; only the
+        (lazily built) stealth constraint list differs.
+        """
+        clone = copy.copy(self)
+        clone.threshold = threshold
+        clone._stealth = None
+        return clone
 
     # ------------------------------------------------------------------
     def _strictified(
@@ -102,42 +195,65 @@ class AttackEncoding:
             )
         return AffineConstraint(row=row, constant=constant, strict=True, label=label, kind=kind)
 
-    def _build_base_constraints(self) -> list[AffineConstraint]:
-        constraints: list[AffineConstraint] = []
-        constraints.extend(self._stealth_constraints())
-        constraints.extend(self._monitor_constraints())
-        return constraints
-
-    def _stealth_constraints(self) -> list[AffineConstraint]:
-        """``|z_k[i]| / w_i < Th[k]`` for every instance with a finite threshold."""
-        if self.threshold is None:
-            return []
-        constraints: list[AffineConstraint] = []
+    def _build_stealth_template(self) -> StealthTemplate:
+        """Precompute rows/constants of ``|z_k[i]| / w_i < Th[k]`` for every instance."""
         horizon = self.problem.horizon
-        effective = self.threshold.effective(horizon)
+        m = self.problem.n_outputs
         weights = self.problem.residue_weights
         if weights is None:
-            weights = np.ones(self.problem.n_outputs)
+            weights = np.ones(m)
+        rows = np.zeros((2 * horizon * m, self.n_variables))
+        constants = np.zeros(2 * horizon * m)
+        sample_index = np.zeros(2 * horizon * m, dtype=int)
+        labels: list[str] = []
+        position = 0
         for k in range(horizon):
-            bound = effective[k]
-            if not np.isfinite(bound):
-                continue
             residue = self.unrolling.residue_map(k)
-            for channel in range(self.problem.n_outputs):
+            for channel in range(m):
                 row, constant = residue.row(channel)
                 scale = float(weights[channel])
                 row = row / scale
                 constant = constant / scale
-                constraints.append(
-                    self._strictified(
-                        row, constant - bound, f"stealth[z{channel}@{k}]<Th", kind="stealth"
-                    )
+                rows[position] = row
+                constants[position] = constant
+                sample_index[position] = k
+                labels.append(f"stealth[z{channel}@{k}]<Th")
+                position += 1
+                rows[position] = -row
+                constants[position] = -constant
+                sample_index[position] = k
+                labels.append(f"stealth[-z{channel}@{k}]<Th")
+                position += 1
+        return StealthTemplate(
+            rows=rows,
+            constants=constants,
+            sample_index=sample_index,
+            labels=tuple(labels),
+        )
+
+    def stealth_constraints(
+        self, threshold: ThresholdVector | None
+    ) -> list[AffineConstraint]:
+        """``|z_k[i]| / w_i < Th[k]`` for every instance with a finite threshold.
+
+        Built from the precomputed template; rows, constants, labels and
+        emission order are identical to a from-scratch per-round build.
+        """
+        if threshold is None:
+            return []
+        template = self._stealth_template
+        effective = threshold.effective(self.problem.horizon)
+        bounds = template.bounds_per_row(effective)
+        constraints: list[AffineConstraint] = []
+        for index in np.flatnonzero(np.isfinite(bounds)):
+            constraints.append(
+                self._strictified(
+                    template.rows[index],
+                    template.constants[index] - bounds[index],
+                    template.labels[index],
+                    kind="stealth",
                 )
-                constraints.append(
-                    self._strictified(
-                        -row, -constant - bound, f"stealth[-z{channel}@{k}]<Th", kind="stealth"
-                    )
-                )
+            )
         return constraints
 
     def _monitor_constraints(self) -> list[AffineConstraint]:
@@ -220,7 +336,7 @@ class AttackEncoding:
     def theta_satisfies_base(self, theta: np.ndarray) -> bool:
         """Check a candidate decision vector against all base constraints."""
         theta = np.asarray(theta, dtype=float).reshape(-1)
-        return not any(constraint.violated_by(theta) for constraint in self._base)
+        return not any(constraint.violated_by(theta) for constraint in self.base_constraints())
 
     def theta_violates_pfc(self, theta: np.ndarray) -> bool:
         """Check whether a candidate decision vector triggers some violation branch."""

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.problem import SynthesisProblem
-from repro.detectors.threshold import ThresholdVector
+from repro.detectors.threshold import ThresholdVector, alarm_comparison
 from repro.lti.simulate import SimulationTrace
 from repro.noise.models import BoundedUniformNoise, NoiseModel
 from repro.runtime.fleet import batch_simulate
@@ -227,7 +227,7 @@ class FalseAlarmEvaluator:
         kept, horizon, m = residues.shape
         for label, threshold in detectors.items():
             norms = threshold.residue_norms(residues.reshape(-1, m)).reshape(kept, horizon)
-            alarms = norms >= threshold.effective(horizon) - 1e-12
+            alarms = alarm_comparison(norms, threshold.effective(horizon))
             study.rates[label] = float(np.mean(np.any(alarms, axis=1)))
         return study
 

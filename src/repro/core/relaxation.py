@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.attack_synthesis import synthesize_attack
 from repro.core.problem import SynthesisProblem
+from repro.core.session import SynthesisSession
 from repro.detectors.threshold import ThresholdVector
 from repro.utils.results import SolveStatus, SynthesisRecord
 
@@ -67,6 +67,7 @@ class ThresholdRelaxer:
         problem: SynthesisProblem,
         threshold: ThresholdVector,
         verify_input: bool = True,
+        session: SynthesisSession | None = None,
     ) -> RelaxationResult:
         """Raise thresholds greedily while preserving the no-stealthy-attack guarantee.
 
@@ -80,17 +81,21 @@ class ThresholdRelaxer:
             When True, first re-verify that the input vector is indeed safe;
             if it is not, the input is returned unchanged with
             ``certified=False``.
+        session:
+            Optional shared :class:`~repro.core.session.SynthesisSession`;
+            when omitted one is opened for the pass (one certification call
+            per instant makes relaxation the heaviest per-problem consumer of
+            Algorithm 1 after the synthesis loops themselves).
         """
+        if session is None:
+            session = SynthesisSession(problem, backend=self.backend)
         current = threshold.copy()
         history: list[SynthesisRecord] = []
         total_time = 0.0
         rounds = 0
 
         if verify_input:
-            check = synthesize_attack(
-                problem, threshold=current, backend=self.backend,
-                time_budget=self.time_budget_per_call,
-            )
+            check = session.solve(current, time_budget=self.time_budget_per_call)
             rounds += 1
             total_time += check.elapsed
             if check.status is not SolveStatus.UNSAT:
@@ -109,10 +114,7 @@ class ThresholdRelaxer:
                 continue
             trial = current.copy()
             trial.set_value(k, candidate)
-            result = synthesize_attack(
-                problem, threshold=trial, backend=self.backend,
-                time_budget=self.time_budget_per_call,
-            )
+            result = session.solve(trial, time_budget=self.time_budget_per_call)
             rounds += 1
             total_time += result.elapsed
             accepted = result.status is SolveStatus.UNSAT

@@ -1,0 +1,203 @@
+"""Incremental synthesis sessions — the per-problem Algorithm 1 engine.
+
+The threshold-synthesis loops (pivot, stepwise, static bisection, the
+relaxation post-pass) call Algorithm 1 up to hundreds of times per problem,
+changing nothing between rounds except the candidate threshold vector.  A
+:class:`SynthesisSession` exploits that: it constructs the closed-loop
+horizon unrolling and every static constraint block (dynamics, attacker
+model, monitor ``mdc`` rows, variable bounds, pfc violation branches)
+**exactly once** per problem and opens an incremental
+:class:`~repro.falsification.base.BackendSession` over them; each
+:meth:`solve` call then only re-emits the threshold-dependent stealth
+constraints — the LP backend appends the per-round stealth right-hand side
+to its cached matrices, the SMT backend push/pops the stealth clauses.
+
+Sessions are stateless between calls (an answer depends only on the
+threshold handed to that call), so one session can serve several synthesis
+algorithms over the same ``(problem, backend)`` pair — which is how
+:func:`repro.api.execute.run_pipeline` and the batch runner share one
+encoding per group.  The one-shot
+:func:`~repro.core.attack_synthesis.synthesize_attack` is a session of
+length one, and both paths produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.attacks.fdi import FDIAttack
+from repro.core.encoding import AttackEncoding
+from repro.core.problem import SynthesisProblem
+from repro.detectors.threshold import ThresholdVector
+from repro.falsification.registry import get_backend
+from repro.lti.simulate import SimulationTrace
+from repro.utils.results import SolveStatus
+
+
+@dataclass
+class AttackSynthesisResult:
+    """Outcome of one ``ATTVECSYN`` call.
+
+    Attributes
+    ----------
+    status:
+        ``SAT`` — stealthy successful attack found; ``UNSAT`` — provably none
+        exists (under the backend's encoding); ``UNKNOWN`` — undecided.
+    attack:
+        The synthesized attack vector (``None`` unless ``SAT``).
+    trace:
+        Deterministic (noiseless) closed-loop trace under the attack.
+    residue_norms:
+        Per-sample residue norms of that trace (the quantities the
+        threshold-synthesis algorithms pivot on).
+    initial_state:
+        The initial plant state chosen by the solver (equals the problem's
+        ``x0`` unless an initial box was given).
+    verified:
+        True when re-simulating the attack confirmed stealth and pfc
+        violation (a consistency check between encoder and simulator).
+    diagnostics:
+        Backend statistics.
+    """
+
+    status: SolveStatus
+    attack: FDIAttack | None = None
+    trace: SimulationTrace | None = None
+    residue_norms: np.ndarray | None = None
+    initial_state: np.ndarray | None = None
+    verified: bool = False
+    elapsed: float = 0.0
+    diagnostics: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        """Truthiness mirrors the paper's ``if ATTVECSYN(...)`` usage."""
+        return self.status is SolveStatus.SAT
+
+    @property
+    def found(self) -> bool:
+        """True when an attack vector was synthesized."""
+        return self.status is SolveStatus.SAT
+
+
+class SynthesisSession:
+    """Incremental Algorithm 1 engine for one ``(problem, backend)`` pair.
+
+    Parameters
+    ----------
+    problem:
+        The synthesis problem instance ``<S, C, pfc>`` plus attacker model.
+    backend:
+        ``"lp"`` (default), ``"smt"``, ``"optimizer"`` or a backend instance.
+    verify:
+        Default for re-simulating synthesized attacks and checking stealth /
+        pfc violation on the concrete trace (overridable per call).
+    backend_kwargs:
+        Constructor arguments forwarded when ``backend`` is a name.
+
+    Attributes
+    ----------
+    encoding:
+        The shared :class:`~repro.core.encoding.AttackEncoding` (static
+        blocks built once at session open).
+    solves:
+        Number of :meth:`solve` calls served so far.
+    """
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        backend: str | object = "lp",
+        verify: bool = True,
+        **backend_kwargs,
+    ):
+        self.problem = problem
+        self.solver = get_backend(backend, **backend_kwargs)
+        self.verify = bool(verify)
+        self.encoding = AttackEncoding(problem=problem, threshold=None)
+        self._backend_session = self.solver.open_session(self.encoding)
+        self.solves = 0
+        # The detector-free query (threshold None) is issued by the pipeline's
+        # vulnerability check *and* as round one of every synthesis loop; the
+        # solver is deterministic, so the session memoises it per verify flag.
+        self._none_cache: dict[bool, AttackSynthesisResult] = {}
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        threshold: ThresholdVector | None = None,
+        time_budget: float | None = None,
+        verify: bool | None = None,
+    ) -> AttackSynthesisResult:
+        """Run one Algorithm 1 round with the candidate ``threshold``.
+
+        Parameters
+        ----------
+        threshold:
+            Candidate residue thresholds; ``None`` (or an all-unset vector)
+            models the system without a residue detector.
+        time_budget:
+            Optional wall-clock budget in seconds for the backend (the paper
+            used a 12-hour Z3 timeout; our instances need seconds).
+        verify:
+            Per-call override of the session's ``verify`` default.
+        """
+        start = time.monotonic()
+        verify = self.verify if verify is None else verify
+        if threshold is None:
+            cached = self._none_cache.get(verify)
+            if cached is not None:
+                self.solves += 1
+                # Fresh shell per hit: callers own their result's ``elapsed``
+                # (charging the original solve time again would double-count
+                # wall clock in per-algorithm totals) and may overwrite it.
+                return replace(cached, elapsed=time.monotonic() - start)
+        answer = self._backend_session.solve(threshold, time_budget=time_budget)
+        self.solves += 1
+        elapsed = time.monotonic() - start
+
+        if not answer.found_attack:
+            result = AttackSynthesisResult(
+                status=answer.status,
+                elapsed=elapsed,
+                diagnostics=answer.diagnostics,
+            )
+            if threshold is None and answer.status is not SolveStatus.UNKNOWN:
+                self._none_cache[verify] = result
+            return result
+
+        attack = self.encoding.unrolling.attack_from_theta(answer.theta)
+        initial_state = self.encoding.unrolling.initial_state_from_theta(answer.theta)
+        trace = self.problem.simulate(attack=attack, with_noise=False, x0=initial_state)
+        residue_norms = self.problem.residue_norms(trace.residues)
+
+        verified = True
+        if verify:
+            pfc_ok = self.problem.pfc_satisfied(trace)
+            mdc_alarm = self.problem.mdc_alarm(trace)
+            detector_alarm = (
+                self.problem.detector_alarm(trace, threshold) if threshold is not None else False
+            )
+            verified = (not pfc_ok) and (not mdc_alarm) and (not detector_alarm)
+
+        result = AttackSynthesisResult(
+            status=SolveStatus.SAT,
+            attack=attack,
+            trace=trace,
+            residue_norms=residue_norms,
+            initial_state=initial_state,
+            verified=verified,
+            elapsed=elapsed,
+            diagnostics=answer.diagnostics,
+        )
+        if threshold is None:
+            self._none_cache[verify] = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SynthesisSession(problem={self.problem.name!r}, "
+            f"backend={getattr(self.solver, 'name', self.solver)!r}, solves={self.solves})"
+        )

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.attack_synthesis import synthesize_attack
 from repro.core.problem import SynthesisProblem
+from repro.core.session import SynthesisSession
 from repro.core.synthesis_result import ThresholdSynthesisResult
 from repro.detectors.threshold import ThresholdVector
 from repro.registry import SYNTHESIZERS
@@ -41,6 +42,12 @@ class StaticThresholdSynthesizer:
         Optional starting upper bound for the search; when omitted it is
         taken from the maximal residue of the unconstrained attack (times a
         safety factor), which is always an unsafe value if any attack exists.
+    reuse_session:
+        When True (default) all Algorithm 1 probes run through one
+        :class:`~repro.core.session.SynthesisSession`, so the encoding and
+        backend state are built once per problem; ``False`` keeps the legacy
+        one-encoding-per-call behaviour (results are bit-identical — the flag
+        exists for benchmarking and debugging).
     """
 
     backend: str | object = "lp"
@@ -48,31 +55,57 @@ class StaticThresholdSynthesizer:
     max_rounds: int = 60
     initial_upper: float | None = None
     time_budget_per_call: float | None = None
+    reuse_session: bool = True
 
     def __post_init__(self) -> None:
         self.tolerance = check_positive("tolerance", self.tolerance)
 
     # ------------------------------------------------------------------
-    def _call(self, problem: SynthesisProblem, threshold: ThresholdVector | None):
-        return synthesize_attack(
-            problem,
-            threshold=threshold,
-            backend=self.backend,
-            time_budget=self.time_budget_per_call,
-        )
+    def _open_session(self, problem: SynthesisProblem) -> SynthesisSession | None:
+        return SynthesisSession(problem, backend=self.backend) if self.reuse_session else None
 
-    def _is_safe(self, problem: SynthesisProblem, value: float) -> tuple[bool, SolveStatus, float]:
+    def _call(
+        self,
+        problem: SynthesisProblem,
+        threshold: ThresholdVector | None,
+        session: SynthesisSession | None,
+    ):
+        if session is None:
+            return synthesize_attack(
+                problem,
+                threshold=threshold,
+                backend=self.backend,
+                time_budget=self.time_budget_per_call,
+            )
+        return session.solve(threshold, time_budget=self.time_budget_per_call)
+
+    def _is_safe(
+        self,
+        problem: SynthesisProblem,
+        value: float,
+        session: SynthesisSession | None,
+    ) -> tuple[bool, SolveStatus, float]:
         threshold = problem.static_threshold(value)
-        result = self._call(problem, threshold)
+        result = self._call(problem, threshold, session)
         return (not result.found), result.status, result.elapsed
 
     # ------------------------------------------------------------------
-    def synthesize(self, problem: SynthesisProblem) -> ThresholdSynthesisResult:
-        """Find the largest safe static threshold by bisection."""
+    def synthesize(
+        self, problem: SynthesisProblem, session: SynthesisSession | None = None
+    ) -> ThresholdSynthesisResult:
+        """Find the largest safe static threshold by bisection.
+
+        ``session`` lets a caller (the pipeline, the batch runner) share one
+        incremental session across several algorithms; when omitted the
+        bisection opens its own (or falls back to per-call encodings when
+        ``reuse_session`` is False).
+        """
+        if session is None:
+            session = self._open_session(problem)
         history: list[SynthesisRecord] = []
         total_time = 0.0
 
-        unconstrained = self._call(problem, None)
+        unconstrained = self._call(problem, None, session)
         total_time += unconstrained.elapsed
         rounds = 1
         if not unconstrained.found:
@@ -94,7 +127,7 @@ class StaticThresholdSynthesizer:
         lower = 0.0
 
         # Ensure the upper end really is unsafe; if it is safe we are done early.
-        safe_upper, status_upper, elapsed = self._is_safe(problem, upper)
+        safe_upper, status_upper, elapsed = self._is_safe(problem, upper, session)
         total_time += elapsed
         rounds += 1
         history.append(
@@ -122,7 +155,7 @@ class StaticThresholdSynthesizer:
         final_status = SolveStatus.UNKNOWN
         while upper - lower > self.tolerance and rounds < self.max_rounds:
             middle = 0.5 * (lower + upper)
-            safe, status, elapsed = self._is_safe(problem, middle)
+            safe, status, elapsed = self._is_safe(problem, middle, session)
             total_time += elapsed
             rounds += 1
             history.append(

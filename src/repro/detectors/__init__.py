@@ -13,7 +13,7 @@ instance).  This package provides:
   ROC sweeps).
 """
 
-from repro.detectors.threshold import ThresholdVector
+from repro.detectors.threshold import ALARM_TOLERANCE, ThresholdVector, alarm_comparison
 from repro.detectors.residue import ResidueDetector, DetectionResult
 from repro.detectors.chi_square import ChiSquareDetector
 from repro.detectors.cusum import CusumDetector
@@ -26,6 +26,8 @@ from repro.detectors.evaluation import (
 )
 
 __all__ = [
+    "ALARM_TOLERANCE",
+    "alarm_comparison",
     "ThresholdVector",
     "ResidueDetector",
     "DetectionResult",

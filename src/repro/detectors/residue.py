@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.detectors.threshold import ThresholdVector
+from repro.detectors.threshold import ThresholdVector, alarm_comparison
 from repro.lti.simulate import SimulationTrace
 from repro.registry import DETECTORS
 
@@ -75,7 +75,7 @@ class ResidueDetector:
         residues = np.atleast_2d(np.asarray(residues, dtype=float))
         norms = self.threshold.residue_norms(residues)
         thresholds = self.threshold.effective(norms.shape[0])
-        alarms = norms >= thresholds - 1e-12
+        alarms = alarm_comparison(norms, thresholds)
         return DetectionResult(alarms=alarms, norms=norms, thresholds=thresholds)
 
     def evaluate_trace(self, trace: SimulationTrace) -> DetectionResult:

@@ -17,6 +17,24 @@ import numpy as np
 
 from repro.utils.validation import ValidationError, check_positive
 
+#: Comparison slack of the alarm predicate ``||z_k|| >= Th[k]``.  The solver
+#: encodings place residues *exactly* on the threshold boundary (up to LP/SMT
+#: arithmetic), so the concrete-trace alarm check must not let a residue that
+#: is numerically equal to the threshold slip under it.  Every alarm path —
+#: offline (:meth:`ThresholdVector.alarms`, ``ResidueDetector``), the FAR
+#: study and the online runtime cores — goes through :func:`alarm_comparison`
+#: so the convention cannot drift between deployments.
+ALARM_TOLERANCE = 1e-12
+
+
+def alarm_comparison(norms: np.ndarray, thresholds: np.ndarray | float) -> np.ndarray:
+    """The shared alarm predicate ``norms >= thresholds - ALARM_TOLERANCE``.
+
+    ``norms`` may carry any batch shape (per-sample, per-instance, or a full
+    ``(N, T)`` block) as long as it broadcasts against ``thresholds``.
+    """
+    return np.asarray(norms) >= np.asarray(thresholds) - ALARM_TOLERANCE
+
 
 @dataclass
 class ThresholdVector:
@@ -232,7 +250,7 @@ class ThresholdVector:
         """Alarm flags ``||z_k|| >= Th[k]`` on a concrete residue sequence."""
         norms = self.residue_norms(residues)
         thresholds = self.effective(norms.shape[0])
-        return norms >= thresholds - 1e-12
+        return alarm_comparison(norms, thresholds)
 
     def admits(self, residues: np.ndarray) -> bool:
         """True when the residue sequence stays strictly below the thresholds everywhere."""

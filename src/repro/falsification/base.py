@@ -1,4 +1,14 @@
-"""Common backend interface for attack synthesis."""
+"""Common backend interface for attack synthesis.
+
+Besides the one-shot :meth:`AttackBackend.solve` entry point, backends expose
+:meth:`AttackBackend.open_session`: a per-problem :class:`BackendSession`
+that answers a *sequence* of Algorithm 1 queries against the same problem
+where only the candidate threshold changes between calls — the shape of every
+counterexample-guided synthesis loop.  The base session simply rebinds the
+shared encoding (already skipping the horizon unrolling and static constraint
+rebuilds); the LP and SMT backends override it to additionally cache their
+assembled solver-level representations.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.encoding import AttackEncoding
+from repro.detectors.threshold import ThresholdVector
 from repro.utils.results import SolveStatus
 
 
@@ -38,6 +49,36 @@ class BackendAnswer:
         return self.status is SolveStatus.SAT and self.theta is not None
 
 
+class BackendSession:
+    """Incremental per-problem solving session.
+
+    Holds whatever the backend can reuse across the rounds of one synthesis
+    loop (the shared encoding at minimum) and answers one query per
+    :meth:`solve` call.  Sessions are stateless *between* calls: the answer
+    depends only on the threshold handed to that call, so interleaving
+    queries from several synthesis algorithms over one session is safe.
+    """
+
+    def __init__(self, backend: "AttackBackend", encoding: AttackEncoding):
+        self.backend = backend
+        self.encoding = encoding
+
+    def solve(
+        self,
+        threshold: ThresholdVector | None = None,
+        time_budget: float | None = None,
+    ) -> BackendAnswer:
+        """Answer one Algorithm 1 query for ``threshold``.
+
+        The default implementation rebinds the shared encoding and delegates
+        to the backend's one-shot ``solve`` — already skipping the per-round
+        unrolling and static-constraint rebuilds.
+        """
+        return self.backend.solve(
+            self.encoding.with_threshold(threshold), time_budget=time_budget
+        )
+
+
 class AttackBackend(abc.ABC):
     """A decision procedure for the stealthy-attack existence query."""
 
@@ -46,3 +87,12 @@ class AttackBackend(abc.ABC):
     @abc.abstractmethod
     def solve(self, encoding: AttackEncoding, time_budget: float | None = None) -> BackendAnswer:
         """Answer the query described by ``encoding``."""
+
+    def open_session(self, encoding: AttackEncoding) -> BackendSession:
+        """Open an incremental session over ``encoding``'s static structure.
+
+        Backends with cacheable solver-level state (assembled LP matrices,
+        asserted SMT clauses) override this; the default session still reuses
+        the encoding across rounds.
+        """
+        return BackendSession(self, encoding)

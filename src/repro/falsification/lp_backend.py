@@ -16,25 +16,193 @@ which — for the conservative monitor encoding — is a complete answer.
 Counterexample quality matters for the synthesis loops built on top: a plain
 feasibility vertex tends to sit right at the stealth boundary, which makes
 each counterexample-guided refinement step arbitrarily small.  With
-``margin_mode="max-stealth-margin"`` (the default) a feasible branch is
-re-solved to maximise the uniform slack of the stealth constraints, i.e. the
-returned attack is the *most stealthy* one that still violates the
-performance criterion.  Thresholds refined against such attacks drop by the
-largest possible amount per round, which is what makes Algorithms 2 and 3
-converge in a practical number of rounds.
+``margin_mode="max-stealth-margin"`` (the default) the returned attack
+maximises the uniform slack of the stealth constraints, i.e. it is the *most
+stealthy* attack that still violates the performance criterion.  Thresholds
+refined against such attacks drop by the largest possible amount per round,
+which is what makes Algorithms 2 and 3 converge in a practical number of
+rounds.
+
+Two solve strategies compute that identical answer:
+
+* ``margin_strategy="single-lp"`` (default) solves the stealth-margin LP
+  directly — its feasible set projects exactly onto the feasibility LP's
+  (fix ``s = 0``), so branch infeasibility and the returned maximum-margin
+  vertex coincide with the historical sequence; any unusual solver status
+  falls back to that sequence verbatim.
+* ``margin_strategy="two-phase"`` is the historical
+  feasibility-then-margin sequence, kept as the reference implementation for
+  the equivalence benchmarks.
+
+Incrementality: :meth:`LPAttackBackend.open_session` returns a session that
+assembles the static (monitor) rows, the variable bounds and the stealth row
+template once per problem.  Each round only computes the stealth right-hand
+side from the candidate threshold — the constraint *matrix* of a round is
+fully determined by the threshold's finite-instance mask, so its assembled
+sparse form is cached per ``(mask, branch)`` and reused across rounds (the
+HiGHS wrapper converts to CSC internally anyway, so passing the cached CSC
+changes nothing numerically).  The one-shot :meth:`LPAttackBackend.solve` is
+a session of length one, so both paths run the identical assembly and
+produce bit-identical answers.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 
 import numpy as np
+from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.core.encoding import AttackEncoding
-from repro.falsification.base import AttackBackend, BackendAnswer
+from repro.detectors.threshold import ThresholdVector
+from repro.falsification.base import AttackBackend, BackendAnswer, BackendSession
 from repro.utils.results import SolveStatus
 from repro.utils.validation import ValidationError
+
+# Bound on distinct threshold finite-masks whose assembled matrices one
+# session keeps (phase-2 loops reuse a single mask; pivot loops touch a new
+# mask only when they place a threshold at a new instant).
+_MATRIX_CACHE_MASKS = 16
+
+
+class LPBackendSession(BackendSession):
+    """Per-problem LP session: static blocks assembled once, stealth per round.
+
+    The stacked base matrix handed to ``linprog`` keeps the historical row
+    order — stealth rows (template order), then monitor rows, then the branch
+    row — so a session answer is bit-identical to the legacy per-call path.
+    """
+
+    def __init__(self, backend: "LPAttackBackend", encoding: AttackEncoding):
+        super().__init__(backend, encoding)
+        static = encoding.static_constraints()
+        n = encoding.n_variables
+        if static:
+            self._static_rows = np.vstack([c.row for c in static])
+            self._static_rhs = np.asarray([-c.constant for c in static], dtype=float)
+        else:
+            self._static_rows = np.zeros((0, n))
+            self._static_rhs = np.zeros(0)
+        self._bounds = encoding.variable_bounds()
+        self._branches = encoding.violation_branches()
+        self._template = encoding.stealth_template
+        self._margin = float(encoding.problem.strictness)
+        self._horizon = encoding.problem.horizon
+        # (mask bytes) -> {branch index -> (A_ub_csc, A_margin_csc | None)}
+        self._matrix_cache: OrderedDict[bytes, dict] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _stealth_arrays(
+        self, threshold: ThresholdVector | None
+    ) -> tuple[np.ndarray, np.ndarray, bytes]:
+        """Stealth rows, right-hand side and mask key for one candidate threshold."""
+        if threshold is None:
+            return np.zeros((0, self.encoding.n_variables)), np.zeros(0), b"none"
+        template = self._template
+        effective = threshold.effective(self._horizon)
+        per_row = template.bounds_per_row(effective)
+        finite = np.isfinite(per_row)
+        keep = np.flatnonzero(finite)
+        rows = template.rows[keep]
+        # Same arithmetic order as AttackEncoding.stealth_constraints:
+        # (scaled constant - bound) + margin, then rhs = -constant.
+        constants = (template.constants[keep] - per_row[keep]) + self._margin
+        return rows, -constants, finite.tobytes()
+
+    def _branch_matrices(
+        self,
+        mask_key: bytes,
+        index: int,
+        stealth_rows: np.ndarray,
+        branch,
+        with_margin: bool,
+    ):
+        """The round's assembled (sparse) matrices for one branch, cached by mask.
+
+        The matrix depends only on which instances carry a finite threshold
+        (the mask), not on the threshold values, so phase-2 style loops hit
+        the cache every round.
+        """
+        per_mask = self._matrix_cache.get(mask_key)
+        if per_mask is None:
+            if len(self._matrix_cache) >= _MATRIX_CACHE_MASKS:
+                self._matrix_cache.popitem(last=False)
+            per_mask = {}
+            self._matrix_cache[mask_key] = per_mask
+        entry = per_mask.get(index)
+        if entry is None or (with_margin and entry[1] is None):
+            n_stealth = stealth_rows.shape[0]
+            A_dense = np.vstack([stealth_rows, self._static_rows, branch.row])
+            A_ub = sparse.csc_matrix(A_dense)
+            A_margin = None
+            if with_margin and n_stealth:
+                A_margin = sparse.csc_matrix(
+                    self.backend._with_margin_column(A_dense, n_stealth)
+                )
+            entry = (A_ub, A_margin)
+            per_mask[index] = entry
+        return entry
+
+    def solve(
+        self,
+        threshold: ThresholdVector | None = None,
+        time_budget: float | None = None,
+    ) -> BackendAnswer:
+        start = time.monotonic()
+        backend = self.backend
+        branches = self._branches
+        if not branches:
+            # No way to violate pfc: the criterion is vacuous, nothing to attack.
+            return BackendAnswer(status=SolveStatus.UNSAT, diagnostics={"branches": 0})
+
+        stealth_rows, stealth_rhs, mask_key = self._stealth_arrays(threshold)
+        n_stealth = stealth_rows.shape[0]
+        with_margin = backend.margin_mode != "none" and n_stealth > 0
+
+        explored = 0
+        best_theta = None
+        best_label = None
+        for index, branch in enumerate(branches):
+            if time_budget is not None and time.monotonic() - start > time_budget:
+                return BackendAnswer(
+                    status=SolveStatus.UNKNOWN,
+                    diagnostics={"branches_explored": explored, "reason": "time budget"},
+                )
+            explored += 1
+            A_ub, A_margin = self._branch_matrices(
+                mask_key, index, stealth_rows, branch, with_margin
+            )
+            b_ub = np.concatenate([stealth_rhs, self._static_rhs, [-branch.constant]])
+            theta = backend._solve_branch(
+                A_ub, b_ub, n_stealth, self._bounds, branch, A_margin=A_margin
+            )
+            if theta is not None:
+                best_theta = theta
+                best_label = branch.label
+                break
+
+        if best_theta is None:
+            return BackendAnswer(
+                status=SolveStatus.UNSAT,
+                diagnostics={
+                    "backend": backend.name,
+                    "branches_explored": explored,
+                    "elapsed": time.monotonic() - start,
+                },
+            )
+        return BackendAnswer(
+            status=SolveStatus.SAT,
+            theta=best_theta,
+            diagnostics={
+                "backend": backend.name,
+                "branch": best_label,
+                "branches_explored": explored,
+                "margin_mode": backend.margin_mode,
+                "elapsed": time.monotonic() - start,
+            },
+        )
 
 
 class LPAttackBackend(AttackBackend):
@@ -47,28 +215,55 @@ class LPAttackBackend(AttackBackend):
         method: str = "highs",
         tolerance: float = 1e-9,
         margin_mode: str = "max-stealth-margin",
+        margin_strategy: str = "single-lp",
     ):
         if margin_mode not in {"max-stealth-margin", "none"}:
             raise ValidationError("margin_mode must be 'max-stealth-margin' or 'none'")
+        if margin_strategy not in {"single-lp", "two-phase"}:
+            raise ValidationError("margin_strategy must be 'single-lp' or 'two-phase'")
         self.method = method
         self.tolerance = float(tolerance)
         self.margin_mode = margin_mode
+        self.margin_strategy = margin_strategy
 
     # ------------------------------------------------------------------
-    def _solve_branch(
-        self,
-        encoding: AttackEncoding,
-        base: list,
-        bounds: list,
-        branch,
-    ) -> np.ndarray | None:
-        """Feasibility (+ optional margin maximisation) for one violation branch."""
-        n = encoding.n_variables
-        rows = [constraint.row for constraint in base] + [branch.row]
-        rhs = [-constraint.constant for constraint in base] + [-branch.constant]
-        A_ub = np.vstack(rows)
-        b_ub = np.asarray(rhs)
+    @staticmethod
+    def _with_margin_column(A_ub, n_stealth: int):
+        """Append the uniform-slack column (1 on stealth rows) to ``A_ub``."""
+        margin_column = np.zeros((A_ub.shape[0], 1))
+        margin_column[:n_stealth, 0] = 1.0
+        if sparse.issparse(A_ub):
+            return sparse.hstack([A_ub, sparse.csc_matrix(margin_column)], format="csc")
+        return np.hstack([A_ub, margin_column])
 
+    def _margin_lp(self, A_ub, b_ub, n_stealth: int, bounds: list, A_margin=None):
+        """Solve the uniform stealth-margin LP over ``[theta, s]``.
+
+        Variables: ``[theta, s]``; maximise ``s`` subject to
+
+        * stealth rows:      ``row·theta + s <= b``
+        * other base rows:   ``row·theta     <= b``
+        * branch row:        ``row·theta     <= b``   (violation kept)
+        """
+        n = A_ub.shape[1]
+        if A_margin is None:
+            A_margin = self._with_margin_column(A_ub, n_stealth)
+        objective = np.zeros(n + 1)
+        objective[-1] = -1.0
+        margin_bounds = list(bounds) + [(0.0, None)]
+        return linprog(
+            c=objective,
+            A_ub=A_margin,
+            b_ub=b_ub,
+            bounds=margin_bounds,
+            method=self.method,
+        )
+
+    def _feasibility_then_margin(
+        self, A_ub, b_ub, n_stealth: int, bounds: list, branch, A_margin=None
+    ) -> np.ndarray | None:
+        """The historical two-phase sequence: feasibility LP, then margin LP."""
+        n = A_ub.shape[1]
         feasibility = linprog(
             c=branch.row,
             A_ub=A_ub,
@@ -90,81 +285,54 @@ class LPAttackBackend(AttackBackend):
             return None
         if float(branch.row @ theta) + branch.constant > self.tolerance:
             return None
-        if self.margin_mode == "none":
+        if self.margin_mode == "none" or n_stealth == 0:
             return theta
 
-        # --- maximise the uniform stealth margin -------------------------------
-        stealth_indices = [i for i, constraint in enumerate(base) if constraint.kind == "stealth"]
-        if not stealth_indices:
-            return theta
-        # Variables: [theta, s]; maximise s subject to
-        #   stealth rows:      row·theta + s <= b
-        #   other base rows:   row·theta     <= b
-        #   branch row:        row·theta     <= b   (violation kept)
-        margin_column = np.zeros((A_ub.shape[0], 1))
-        for index in stealth_indices:
-            margin_column[index, 0] = 1.0
-        A_margin = np.hstack([A_ub, margin_column])
-        objective = np.zeros(n + 1)
-        objective[-1] = -1.0
-        margin_bounds = list(bounds) + [(0.0, None)]
-        improved = linprog(
-            c=objective,
-            A_ub=A_margin,
-            b_ub=b_ub,
-            bounds=margin_bounds,
-            method=self.method,
-        )
+        improved = self._margin_lp(A_ub, b_ub, n_stealth, bounds, A_margin=A_margin)
         if improved.status == 0 and improved.x is not None:
             candidate = np.asarray(improved.x[:n], dtype=float)
             if float(branch.row @ candidate) + branch.constant <= self.tolerance:
                 return candidate
         return theta
 
-    # ------------------------------------------------------------------
-    def solve(self, encoding: AttackEncoding, time_budget: float | None = None) -> BackendAnswer:
-        start = time.monotonic()
-        base = encoding.base_constraints()
-        branches = encoding.violation_branches()
-        bounds = encoding.variable_bounds()
-
-        if not branches:
-            # No way to violate pfc: the criterion is vacuous, nothing to attack.
-            return BackendAnswer(status=SolveStatus.UNSAT, diagnostics={"branches": 0})
-
-        explored = 0
-        best_theta = None
-        best_label = None
-        for branch in branches:
-            if time_budget is not None and time.monotonic() - start > time_budget:
-                return BackendAnswer(
-                    status=SolveStatus.UNKNOWN,
-                    diagnostics={"branches_explored": explored, "reason": "time budget"},
-                )
-            explored += 1
-            theta = self._solve_branch(encoding, base, bounds, branch)
-            if theta is not None:
-                best_theta = theta
-                best_label = branch.label
-                break
-
-        if best_theta is None:
-            return BackendAnswer(
-                status=SolveStatus.UNSAT,
-                diagnostics={
-                    "backend": self.name,
-                    "branches_explored": explored,
-                    "elapsed": time.monotonic() - start,
-                },
+    def _solve_branch(
+        self, A_ub, b_ub, n_stealth: int, bounds: list, branch, A_margin=None
+    ) -> np.ndarray | None:
+        """Feasibility (+ optional margin maximisation) for one violation branch."""
+        n = A_ub.shape[1]
+        if (
+            self.margin_strategy == "two-phase"
+            or self.margin_mode == "none"
+            or n_stealth == 0
+        ):
+            return self._feasibility_then_margin(
+                A_ub, b_ub, n_stealth, bounds, branch, A_margin=A_margin
             )
-        return BackendAnswer(
-            status=SolveStatus.SAT,
-            theta=best_theta,
-            diagnostics={
-                "backend": self.name,
-                "branch": best_label,
-                "branches_explored": explored,
-                "margin_mode": self.margin_mode,
-                "elapsed": time.monotonic() - start,
-            },
+
+        # Margin-first: the margin LP's feasible set is the feasibility LP's
+        # region augmented with s >= 0 (fix s = 0 to recover it), so branch
+        # infeasibility coincides, and its optimum is exactly the candidate
+        # the two-phase sequence would return.  One LP instead of two on
+        # every SAT round.
+        improved = self._margin_lp(A_ub, b_ub, n_stealth, bounds, A_margin=A_margin)
+        if improved.status == 2:
+            # Infeasible: the branch admits no stealthy successful attack.
+            return None
+        if improved.status == 0 and improved.x is not None:
+            candidate = np.asarray(improved.x[:n], dtype=float)
+            if float(branch.row @ candidate) + branch.constant <= self.tolerance:
+                return candidate
+        # Unusual solver status (or tolerance miss): replicate the historical
+        # sequence verbatim so answers stay bit-identical with two-phase.
+        return self._feasibility_then_margin(
+            A_ub, b_ub, n_stealth, bounds, branch, A_margin=A_margin
         )
+
+    # ------------------------------------------------------------------
+    def open_session(self, encoding: AttackEncoding) -> LPBackendSession:
+        """Open the matrix-caching incremental session for ``encoding``."""
+        return LPBackendSession(self, encoding)
+
+    def solve(self, encoding: AttackEncoding, time_budget: float | None = None) -> BackendAnswer:
+        """One-shot query: a session of length one over ``encoding``."""
+        return self.open_session(encoding).solve(encoding.threshold, time_budget=time_budget)

@@ -11,6 +11,13 @@ from :func:`scipy.optimize.minimize`, which is the classical S-TaLiRo /
 Breach-style falsification recipe.  The backend can never prove absence of
 attacks (it returns ``UNKNOWN`` instead of ``UNSAT``); it exists as an
 ablation point and as an independent cross-check of the formal backends.
+
+Under a :class:`~repro.core.session.SynthesisSession` this backend runs
+through the default :class:`~repro.falsification.base.BackendSession`: each
+round rebinds the shared encoding to the candidate threshold (skipping the
+horizon unrolling and static constraint rebuilds) and re-derives only the
+stealth penalty terms — the objective itself is restart-stateful per call by
+design, so there is no further solver state to cache.
 """
 
 from __future__ import annotations

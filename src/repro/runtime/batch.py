@@ -28,7 +28,7 @@ import numpy as np
 from repro.detectors.chi_square import ChiSquareDetector
 from repro.detectors.cusum import CusumDetector
 from repro.detectors.residue import ResidueDetector
-from repro.detectors.threshold import ThresholdVector
+from repro.detectors.threshold import ThresholdVector, alarm_comparison
 from repro.monitors.base import Monitor
 from repro.monitors.composite import CompositeMonitor
 from repro.monitors.deadzone import DeadZoneMonitor
@@ -112,7 +112,7 @@ class BatchThresholdDetector(BatchDetector):
         norms = self.threshold.residue_norms(residues)
         index = min(self._step_index, self.threshold.length - 1)
         self._step_index += 1
-        return norms >= self.threshold.values[index] - 1e-12
+        return alarm_comparison(norms, self.threshold.values[index])
 
     def reset(self) -> None:
         self._step_index = 0

@@ -38,15 +38,18 @@ class SolverResult:
 
 
 class Solver:
-    """Incremental-ish facade: collect assertions, then :meth:`check`.
+    """Incremental facade: collect assertions, then :meth:`check`.
 
-    Each :meth:`check` call converts the current assertion set from scratch;
-    there is no push/pop state to manage, which matches how the synthesis
-    loops use the solver (one query per candidate threshold vector).
+    Each :meth:`check` call converts the current assertion set from scratch
+    (the DPLL core is re-seeded per query); :meth:`push`/:meth:`pop` manage
+    assertion scopes Z3-style, which is how the synthesis session keeps the
+    static problem clauses asserted while swapping the threshold stealth
+    clauses between counterexample-guided rounds.
     """
 
     def __init__(self, theory_check: str = "eager", time_budget: float | None = None):
         self._assertions: list[Formula] = []
+        self._scopes: list[int] = []
         self.theory_check = theory_check
         self.time_budget = time_budget
 
@@ -63,8 +66,25 @@ class Solver:
         return list(self._assertions)
 
     def reset(self) -> None:
-        """Drop all assertions."""
+        """Drop all assertions and scopes."""
         self._assertions = []
+        self._scopes = []
+
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        """Open an assertion scope; a later :meth:`pop` drops everything added since."""
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        """Close the innermost scope, retracting its assertions."""
+        if not self._scopes:
+            raise ValidationError("pop() without a matching push()")
+        del self._assertions[self._scopes.pop():]
+
+    @property
+    def scope_depth(self) -> int:
+        """Number of open assertion scopes."""
+        return len(self._scopes)
 
     # ------------------------------------------------------------------
     def check(self, time_budget: float | None = None) -> SolverResult:

@@ -204,7 +204,12 @@ def dare(
         try:
             X = sla.solve_discrete_are(A, B, Q, R)
             return 0.5 * (X + X.T)
-        except Exception:
+        except sla.LinAlgError:
+            # scipy signals DARE numerical failure (no finite solution, pencil
+            # eigenvalues on the unit circle) as LinAlgError; only that case
+            # falls back to the doubling iteration.  Shape/definiteness errors
+            # cannot occur here — the inputs are validated above — and any
+            # other exception is a real bug that must propagate.
             if method == "scipy":
                 raise
     return _dare_doubling(A, B, Q, R)

@@ -151,7 +151,7 @@ class TestSynthesisPipelineCompatShim:
         assert report.far_study is not None
 
     def test_old_constructor_rejects_unknown_algorithm(self, trajectory_problem):
-        with pytest.raises(ValidationError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValidationError):
             SynthesisPipeline(problem=trajectory_problem, algorithms=("magic",))
 
     def test_to_configs_translation(self, trajectory_problem):

@@ -170,13 +170,16 @@ class TestVectorizedAgainstSequentialReference:
 
 
 class TestPipeline:
+    """The deprecated shim must keep working — and keep warning."""
+
     def test_full_run_on_trajectory(self, trajectory_problem):
-        pipeline = SynthesisPipeline(
-            problem=trajectory_problem,
-            algorithms=("pivot", "stepwise", "static"),
-            far_count=50,
-            min_threshold=0.005,
-        )
+        with pytest.warns(DeprecationWarning):
+            pipeline = SynthesisPipeline(
+                problem=trajectory_problem,
+                algorithms=("pivot", "stepwise", "static"),
+                far_count=50,
+                min_threshold=0.005,
+            )
         report = pipeline.run()
         assert report.is_vulnerable
         assert set(report.synthesis) == {"pivot", "stepwise", "static"}
@@ -186,12 +189,13 @@ class TestPipeline:
         assert all("false_alarm_rate" in row for row in rows)
 
     def test_far_can_be_disabled(self, trajectory_problem):
-        pipeline = SynthesisPipeline(
-            problem=trajectory_problem, algorithms=("static",), far_count=0
-        )
+        with pytest.warns(DeprecationWarning):
+            pipeline = SynthesisPipeline(
+                problem=trajectory_problem, algorithms=("static",), far_count=0
+            )
         report = pipeline.run()
         assert report.far_study is None
 
     def test_unknown_algorithm_rejected(self, trajectory_problem):
-        with pytest.raises(ValidationError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValidationError):
             SynthesisPipeline(problem=trajectory_problem, algorithms=("magic",))

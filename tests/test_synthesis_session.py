@@ -1,0 +1,399 @@
+"""Tests for the incremental synthesis-session engine.
+
+The contract under test: a :class:`~repro.core.session.SynthesisSession`
+builds the encoding once per problem and serves per-round solves whose
+results are bit-identical to the legacy one-encoding-per-call path, across
+backends and synthesis algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import SynthesisConfig, run_pipeline
+from repro.core import encoding as encoding_module
+from repro.core.attack_synthesis import synthesize_attack
+from repro.core.encoding import AttackEncoding
+from repro.core.pivot import PivotThresholdSynthesizer
+from repro.core.relaxation import ThresholdRelaxer
+from repro.core.session import AttackSynthesisResult, SynthesisSession
+from repro.core.static_synthesis import StaticThresholdSynthesizer
+from repro.core.stepwise import StepwiseThresholdSynthesizer
+from repro.falsification.lp_backend import LPAttackBackend
+from repro.smt.solver import Solver
+from repro.smt.linear import LinearExpr
+from repro.smt.expr import Atom
+from repro.utils.results import SolveStatus
+from repro.utils.validation import ValidationError
+
+
+def build_delta(fn):
+    """Run ``fn`` and return (result, number of full encoding builds it made)."""
+    before = encoding_module.encoding_build_count()
+    result = fn()
+    return result, encoding_module.encoding_build_count() - before
+
+
+class TestSessionSolve:
+    def test_matches_one_shot_without_detector(self, trajectory_problem):
+        session = SynthesisSession(trajectory_problem, backend="lp")
+        from_session = session.solve(None)
+        one_shot = synthesize_attack(trajectory_problem, threshold=None, backend="lp")
+        assert from_session.status == one_shot.status
+        np.testing.assert_array_equal(
+            from_session.attack.values, one_shot.attack.values
+        )
+        np.testing.assert_array_equal(
+            from_session.residue_norms, one_shot.residue_norms
+        )
+
+    def test_matches_one_shot_with_threshold(self, trajectory_problem):
+        threshold = trajectory_problem.static_threshold(1.0)
+        session = SynthesisSession(trajectory_problem, backend="lp")
+        from_session = session.solve(threshold)
+        one_shot = synthesize_attack(
+            trajectory_problem, threshold=threshold, backend="lp"
+        )
+        assert from_session.status == one_shot.status
+        if one_shot.found:
+            np.testing.assert_array_equal(
+                from_session.attack.values, one_shot.attack.values
+            )
+
+    def test_encoding_built_once_across_rounds(self, trajectory_problem):
+        def run():
+            session = SynthesisSession(trajectory_problem, backend="lp")
+            session.solve(None)
+            session.solve(trajectory_problem.static_threshold(1.0))
+            session.solve(trajectory_problem.static_threshold(0.5))
+            return session
+
+        session, builds = build_delta(run)
+        assert builds == 1
+        assert session.solves == 3
+
+    def test_detector_free_query_is_memoised(self, trajectory_problem):
+        session = SynthesisSession(trajectory_problem, backend="lp")
+        first = session.solve(None)
+        second = session.solve(None)
+        # Cache hit: same solver answer (shared payload), fresh elapsed.
+        assert second.status == first.status
+        assert second.attack is first.attack
+        assert second.elapsed < first.elapsed
+        assert session.solves == 2
+
+    def test_solver_accepts_backend_instance(self, trajectory_problem):
+        backend = LPAttackBackend(margin_mode="none")
+        session = SynthesisSession(trajectory_problem, backend=backend)
+        assert session.solver is backend
+        assert session.solve(None).found
+
+
+class TestSessionEquivalenceAcrossSynthesizers:
+    """reuse_session=True and the legacy per-call path must agree exactly."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda backend, reuse: PivotThresholdSynthesizer(
+                backend=backend, reuse_session=reuse
+            ),
+            lambda backend, reuse: StepwiseThresholdSynthesizer(
+                backend=backend, reuse_session=reuse
+            ),
+            lambda backend, reuse: StaticThresholdSynthesizer(
+                backend=backend, reuse_session=reuse
+            ),
+        ],
+        ids=["pivot", "stepwise", "static"],
+    )
+    def test_identical_results_and_single_build(self, trajectory_problem, factory):
+        legacy, legacy_builds = build_delta(
+            lambda: factory("lp", False).synthesize(trajectory_problem)
+        )
+        incremental, session_builds = build_delta(
+            lambda: factory("lp", True).synthesize(trajectory_problem)
+        )
+        np.testing.assert_array_equal(
+            legacy.threshold.values, incremental.threshold.values
+        )
+        assert legacy.rounds == incremental.rounds
+        assert legacy.status == incremental.status
+        assert legacy.converged == incremental.converged
+        assert session_builds == 1
+        assert legacy_builds == legacy.rounds
+
+    def test_two_phase_margin_strategy_matches_single_lp(self, trajectory_problem):
+        single = StepwiseThresholdSynthesizer(
+            backend=LPAttackBackend(margin_strategy="single-lp")
+        ).synthesize(trajectory_problem)
+        two_phase = StepwiseThresholdSynthesizer(
+            backend=LPAttackBackend(margin_strategy="two-phase")
+        ).synthesize(trajectory_problem)
+        np.testing.assert_array_equal(
+            single.threshold.values, two_phase.threshold.values
+        )
+        assert single.rounds == two_phase.rounds
+        assert single.status == two_phase.status
+
+    def test_unknown_margin_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            LPAttackBackend(margin_strategy="warp-drive")
+
+    def test_smt_session_matches_per_call(self, small_dcmotor_problem):
+        shared = StepwiseThresholdSynthesizer(backend="smt").synthesize(
+            small_dcmotor_problem
+        )
+        per_call = StepwiseThresholdSynthesizer(
+            backend="smt", reuse_session=False
+        ).synthesize(small_dcmotor_problem)
+        np.testing.assert_array_equal(
+            shared.threshold.values, per_call.threshold.values
+        )
+        assert shared.rounds == per_call.rounds
+        assert shared.status == per_call.status
+
+    def test_injected_session_is_used(self, trajectory_problem):
+        session = SynthesisSession(trajectory_problem, backend="lp")
+        session.solve(None)
+        solves_before = session.solves
+        result = StepwiseThresholdSynthesizer(backend="lp").synthesize(
+            trajectory_problem, session=session
+        )
+        assert result.converged
+        assert session.solves > solves_before
+
+    def test_relaxer_shares_session(self, trajectory_problem):
+        synthesized = StepwiseThresholdSynthesizer(backend="lp").synthesize(
+            trajectory_problem
+        )
+
+        def relax():
+            return ThresholdRelaxer(backend="lp").relax(
+                trajectory_problem, synthesized.threshold, verify_input=True
+            )
+
+        result, builds = build_delta(relax)
+        assert result.certified
+        assert builds == 1
+
+
+class TestPipelineSessionSharing:
+    def test_run_pipeline_builds_one_encoding_per_call(self, trajectory_problem):
+        def run():
+            return run_pipeline(
+                trajectory_problem,
+                synthesis=SynthesisConfig(
+                    algorithms=("pivot", "stepwise", "static"), backend="lp"
+                ),
+            )
+
+        report, builds = build_delta(run)
+        assert builds == 1
+        assert report.is_vulnerable
+        assert set(report.synthesis) == {"pivot", "stepwise", "static"}
+
+    def test_synthesizer_without_session_parameter_still_runs(self, trajectory_problem):
+        """Plugin synthesizers predating the session protocol must keep working."""
+        from repro.registry import SYNTHESIZERS
+
+        class OldStyleSynthesizer:
+            def __init__(self, backend="lp", **_):
+                self.backend = backend
+
+            def synthesize(self, problem):  # no session kwarg
+                return StaticThresholdSynthesizer(backend=self.backend).synthesize(
+                    problem
+                )
+
+        SYNTHESIZERS.register("old-style-test")(OldStyleSynthesizer)
+        try:
+            report = run_pipeline(
+                trajectory_problem,
+                synthesis=SynthesisConfig(algorithms=("old-style-test",), backend="lp"),
+            )
+            assert "old-style-test" in report.synthesis
+        finally:
+            SYNTHESIZERS.unregister("old-style-test")
+
+
+class TestEncodingIncrementalStructure:
+    def test_with_threshold_shares_static_blocks(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=None)
+        rebound = encoding.with_threshold(trajectory_problem.static_threshold(1.0))
+        assert rebound.unrolling is encoding.unrolling
+        assert rebound.stealth_template is encoding.stealth_template
+        assert rebound.violation_branches() == encoding.violation_branches()
+
+    def test_with_threshold_matches_fresh_build(self, trajectory_problem):
+        threshold = trajectory_problem.static_threshold(0.7)
+        fresh = AttackEncoding(problem=trajectory_problem, threshold=threshold)
+        rebound = AttackEncoding(
+            problem=trajectory_problem, threshold=None
+        ).with_threshold(threshold)
+        fresh_base = fresh.base_constraints()
+        rebound_base = rebound.base_constraints()
+        assert len(fresh_base) == len(rebound_base)
+        for a, b in zip(fresh_base, rebound_base):
+            np.testing.assert_array_equal(a.row, b.row)
+            assert a.constant == b.constant
+            assert a.label == b.label
+            assert a.kind == b.kind
+
+    def test_stealth_constraints_skip_unset_instances(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=None)
+        threshold = trajectory_problem.fresh_threshold()
+        threshold.set_value(0, 1.0)
+        constraints = encoding.stealth_constraints(threshold)
+        # Only instance 0 carries a threshold: one +/- pair per channel.
+        assert len(constraints) == 2 * trajectory_problem.n_outputs
+        assert all(c.kind == "stealth" for c in constraints)
+
+    def test_template_row_order_matches_legacy_emission(self, trajectory_problem):
+        encoding = AttackEncoding(problem=trajectory_problem, threshold=None)
+        template = encoding.stealth_template
+        m = trajectory_problem.n_outputs
+        assert template.n_rows == 2 * trajectory_problem.horizon * m
+        assert template.labels[0] == "stealth[z0@0]<Th"
+        assert template.labels[1] == "stealth[-z0@0]<Th"
+        np.testing.assert_array_equal(
+            template.sample_index[: 2 * m], np.zeros(2 * m, dtype=int)
+        )
+
+
+class TestSolverPushPop:
+    def test_push_pop_scopes_assertions(self):
+        solver = Solver()
+        base = Atom(expression=LinearExpr({"x": 1.0}, -1.0), strict=False)  # x <= 1
+        solver.add(base)
+        solver.push()
+        solver.add(Atom(expression=LinearExpr({"x": -1.0}, 2.0), strict=False))  # x >= 2
+        assert solver.check().status is SolveStatus.UNSAT
+        assert solver.scope_depth == 1
+        solver.pop()
+        assert solver.scope_depth == 0
+        assert len(solver.assertions()) == 1
+        assert solver.check().status is SolveStatus.SAT
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(ValidationError):
+            Solver().pop()
+
+    def test_reset_clears_scopes(self):
+        solver = Solver()
+        solver.push()
+        solver.reset()
+        assert solver.scope_depth == 0
+
+
+# ----------------------------------------------------------------------
+# Satellite: min_area_rectangle and the stepwise phase-2 degenerate branch.
+# ----------------------------------------------------------------------
+from repro.core.stepwise import min_area_rectangle  # noqa: E402
+from repro.detectors.threshold import ThresholdVector  # noqa: E402
+
+
+class TestMinAreaRectangle:
+    def test_all_infinite_thresholds_return_none(self):
+        threshold = ThresholdVector.unset(5)
+        assert min_area_rectangle(np.full(5, 0.1), threshold) is None
+
+    def test_floor_blocks_every_cut(self):
+        threshold = ThresholdVector.static(0.5, 4)
+        norms = np.full(4, 0.1)
+        assert min_area_rectangle(norms, threshold, floor=0.5) is None
+        # A floor *above* the thresholds blocks as well.
+        assert min_area_rectangle(norms, threshold, floor=0.9) is None
+
+    def test_attack_touching_every_threshold_returns_none(self):
+        threshold = ThresholdVector.static(0.5, 4)
+        assert min_area_rectangle(np.full(4, 0.5), threshold) is None
+
+    def test_picks_cheapest_tail(self):
+        threshold = ThresholdVector(np.array([1.0, 1.0, 0.5, 0.5]))
+        norms = np.array([0.2, 0.95, 0.2, 0.4])
+        # Cutting from 1 removes only (1.0 - 0.95); every other cut removes more.
+        assert min_area_rectangle(norms, threshold) == 1
+
+    def test_partial_staircase_ignores_unset_tail(self):
+        values = np.array([1.0, 0.8, np.inf, np.inf])
+        threshold = ThresholdVector(values)
+        index = min_area_rectangle(np.array([0.3, 0.7, 0.1, 0.2]), threshold)
+        assert index == 1
+
+
+class _ScriptedSession:
+    """Stands in for a SynthesisSession: returns pre-scripted results."""
+
+    def __init__(self, results):
+        self._results = list(results)
+
+    def solve(self, threshold=None, time_budget=None, verify=None):
+        return self._results.pop(0)
+
+
+def _sat(norms):
+    return AttackSynthesisResult(
+        status=SolveStatus.SAT, residue_norms=np.asarray(norms, dtype=float)
+    )
+
+
+def _unsat():
+    return AttackSynthesisResult(status=SolveStatus.UNSAT)
+
+
+class TestStepwiseDegenerateBranches:
+    """The phase-2 fallbacks of src/repro/core/stepwise.py on scripted rounds."""
+
+    def test_degenerate_cut_lowers_by_strictness(self, small_dcmotor_problem):
+        problem = small_dcmotor_problem
+        horizon = problem.horizon
+        peak = np.zeros(horizon)
+        peak[-1] = 0.5  # initial step covers the whole horizon: phase 1 skipped
+        session = _ScriptedSession(
+            [_sat(peak), _sat(np.full(horizon, 0.5)), _unsat()]
+        )
+        result = StepwiseThresholdSynthesizer(backend="lp").synthesize(
+            problem, session=session
+        )
+        assert result.converged
+        assert result.rounds == 3
+        expected = 0.5 - problem.strictness
+        np.testing.assert_allclose(result.threshold.values, expected)
+        assert any("phase-2 cut" in record.action for record in result.history)
+
+    def test_floor_blocked_degenerate_cut_stops_without_progress(
+        self, small_dcmotor_problem
+    ):
+        problem = small_dcmotor_problem
+        horizon = problem.horizon
+        peak = np.zeros(horizon)
+        peak[-1] = 0.5
+        session = _ScriptedSession([_sat(peak), _sat(np.full(horizon, 0.5))])
+        result = StepwiseThresholdSynthesizer(
+            backend="lp", min_threshold=0.5
+        ).synthesize(problem, session=session)
+        # The floor equals the staircase height: the degenerate cut cannot
+        # lower anything, so the loop must exit with UNKNOWN, not spin.
+        assert not result.converged
+        assert result.status is SolveStatus.UNKNOWN
+        assert result.rounds == 2
+        np.testing.assert_allclose(result.threshold.values, 0.5)
+
+    def test_min_area_floor_block_triggers_degenerate_branch(
+        self, small_dcmotor_problem
+    ):
+        problem = small_dcmotor_problem
+        horizon = problem.horizon
+        peak = np.zeros(horizon)
+        peak[-1] = 0.5
+        # Norms strictly below the staircase, but the floor sits at the
+        # staircase height: min_area_rectangle returns None and the
+        # degenerate branch is also blocked -> no-progress exit.
+        session = _ScriptedSession([_sat(peak), _sat(np.full(horizon, 0.1))])
+        result = StepwiseThresholdSynthesizer(
+            backend="lp", min_threshold=0.5
+        ).synthesize(problem, session=session)
+        assert result.status is SolveStatus.UNKNOWN
+        np.testing.assert_allclose(result.threshold.values, 0.5)
