@@ -1,0 +1,136 @@
+"""Exploration benchmarks: store reuse and adaptive-sampler efficiency.
+
+Three guarantees back the ``repro.explore`` subsystem:
+
+* **warm-store re-runs are free** — re-exploring a 24-point space against a
+  populated content-addressed store issues *zero* solver calls and is at
+  least 10x faster than the cold run;
+* **store hits are bit-identical** — the rows served from disk equal the
+  fresh computation exactly, field for field;
+* **adaptive bisection beats the grid** — on the DC-motor noise-scale sweep
+  the adaptive sampler recovers the exhaustive grid's Pareto front with at
+  most half of the grid's synthesis (Algorithm 1) calls, by never stepping
+  into the interior of metric plateaus.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.session import SynthesisSession
+from repro.explore import Explorer, SearchSpace
+
+
+class SolverCallCounter:
+    """Counts every Algorithm 1 (``SynthesisSession.solve``) invocation."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        original = SynthesisSession.solve
+
+        def counted(session, *args, **kwargs):
+            self.calls += 1
+            return original(session, *args, **kwargs)
+
+        monkeypatch.setattr(SynthesisSession, "solve", counted)
+
+    def take(self) -> int:
+        calls, self.calls = self.calls, 0
+        return calls
+
+
+def test_warm_store_rerun_is_free_and_bit_identical(benchmark, tmp_path, monkeypatch):
+    """(a) + (c): zero solver calls, >= 10x faster, rows exactly equal."""
+    space = SearchSpace(
+        case_studies=("dcmotor",),
+        synthesizers=("stepwise", "static"),
+        horizons=(8,),
+        min_thresholds=(0.0, 0.01, 0.02, 0.03),
+        noise_scales=(0.5, 1.0, 2.0),
+        far_count=20,
+        probe_instances=6,
+        max_rounds=100,
+    )
+    assert space.size >= 24
+    counter = SolverCallCounter(monkeypatch)
+
+    def cold_then_warm():
+        t0 = time.perf_counter()
+        cold = Explorer(space, "grid", store=tmp_path / "store").run()
+        cold_s = time.perf_counter() - t0
+        cold_calls = counter.take()
+
+        t0 = time.perf_counter()
+        warm = Explorer(space, "grid", store=tmp_path / "store").run()
+        warm_s = time.perf_counter() - t0
+        warm_calls = counter.take()
+        return cold, cold_s, cold_calls, warm, warm_s, warm_calls
+
+    cold, cold_s, cold_calls, warm, warm_s, warm_calls = run_once(benchmark, cold_then_warm)
+
+    print(
+        f"\n--- warm-store re-run: {space.size} points, cold {cold_s:.2f}s "
+        f"({cold_calls} solver calls) vs warm {warm_s:.4f}s ({warm_calls} solver "
+        f"calls) = {cold_s / warm_s:.0f}x"
+    )
+    assert cold.stats["units_executed"] == space.size
+    assert cold_calls > 0
+
+    # (a) the warm pass issues zero solver calls and is >= 10x faster.
+    assert warm_calls == 0
+    assert warm.stats["units_executed"] == 0
+    assert warm.stats["store_hits"] == space.size
+    assert warm_s < cold_s / 10.0
+
+    # (c) store hits are bit-identical to the fresh computation.
+    assert warm.summary_rows() == cold.summary_rows()
+    assert warm.front_signature() == cold.front_signature()
+
+
+def test_adaptive_sampler_recovers_grid_front_with_half_the_calls(benchmark, monkeypatch):
+    """(b): same DC-motor Pareto front, <= 50% of the grid's synthesis calls.
+
+    The noise-scale axis has a long FAR = 0 plateau (benign noise far below
+    the synthesized thresholds) followed by a rising tail; the bisection
+    sampler proves the plateau with two endpoint evaluations per interval
+    and spends its budget on the tail only.
+    """
+    plateau = tuple(round(0.05 + 0.05 * i, 4) for i in range(25))   # 0.05 .. 1.25
+    tail = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
+    space = SearchSpace(
+        case_studies=("dcmotor",),
+        synthesizers=("stepwise",),
+        horizons=(8,),
+        min_thresholds=(0.02,),
+        noise_scales=plateau + tail,
+        far_count=40,
+        probe_instances=6,
+        max_rounds=100,
+    )
+    counter = SolverCallCounter(monkeypatch)
+
+    def grid_then_adaptive():
+        grid = Explorer(space, "grid").run()
+        grid_calls = counter.take()
+        adaptive = Explorer(space, "adaptive-bisection").run()
+        adaptive_calls = counter.take()
+        return grid, grid_calls, adaptive, adaptive_calls
+
+    grid, grid_calls, adaptive, adaptive_calls = run_once(benchmark, grid_then_adaptive)
+
+    print(
+        f"\n--- adaptive vs grid on dcmotor ({space.size} grid points): "
+        f"grid {grid.stats['units_executed']} evaluations / {grid_calls} solver calls, "
+        f"adaptive {adaptive.stats['units_executed']} evaluations / "
+        f"{adaptive_calls} solver calls "
+        f"({100 * adaptive_calls / grid_calls:.0f}%) in "
+        f"{adaptive.stats['rounds']} refinement rounds"
+    )
+    assert grid.stats["units_executed"] == space.size
+
+    # Identical non-dominated front (as objective vectors) ...
+    assert adaptive.front_signature() == grid.front_signature()
+    # ... from at most half of the synthesis calls.
+    assert adaptive_calls <= 0.5 * grid_calls
+    assert adaptive.stats["units_executed"] <= 0.5 * grid.stats["units_executed"]

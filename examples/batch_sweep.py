@@ -1,68 +1,100 @@
 #!/usr/bin/env python3
-"""Sweep case studies × backends × algorithms with the Experiment API v2.
+"""Sweep a design space with ``repro.explore`` and extract the Pareto front.
 
-This example shows the declarative batch workflow that replaces hand-written
-loops over case studies and solver backends:
+This example shows the exploration workflow that replaces hand-written
+loops (and the plain ``ExperimentSpec`` grid it superseded):
 
-1. describe the whole experiment grid as one :class:`repro.ExperimentSpec`,
-2. round-trip it through JSON (the spec is what you commit to version
-   control or ship to a cluster),
-3. execute it with :func:`repro.run_experiments` — serially or with
-   ``multiprocessing`` fan-out,
-4. inspect the sorted, JSON-exportable :class:`repro.ExperimentResult` table.
+1. describe the design space as one :class:`repro.SearchSpace` — case
+   studies × algorithms × threshold floors × noise scales — and round-trip
+   it through JSON (the space is what you commit to version control),
+2. explore it with :class:`repro.Explorer` against a persistent
+   content-addressed store, so re-running the script (or resuming after an
+   interruption) recomputes nothing,
+3. inspect the sorted result table, the (FAR, detection latency, stealth
+   margin) Pareto front, and the per-axis sensitivity summary.
 
 Run with::
 
     python examples/batch_sweep.py
+
+Run it twice and watch the second pass be served entirely from the store.
 """
 
 from __future__ import annotations
 
-from repro import ExperimentSpec, FARConfig, run_experiments
+from pathlib import Path
+
+from repro import Explorer, SearchSpace
+
+STORE_PATH = Path(__file__).resolve().parent / ".explore-store"
 
 
 def main() -> None:
-    spec = ExperimentSpec(
-        name="backend-x-algorithm-sweep",
+    space = SearchSpace(
         case_studies=("trajectory", "dcmotor"),
-        backends=("lp", "smt"),
-        algorithms=("stepwise", "static"),
-        # Keep the SMT cells cheap: shrink both horizons for the sweep.  At
-        # these short horizons the dcmotor loop has not reached its target
-        # band yet, so the FAR study must not filter on the performance
-        # criterion (every benign trace would be discarded).
-        case_study_options={"dcmotor": {"horizon": 8}, "trajectory": {"horizon": 8}},
-        min_threshold=0.005,
+        synthesizers=("stepwise", "static"),
+        backends=("lp",),
+        # Keep the cells cheap: shrink both horizons for the sweep.  At
+        # these short horizons the loops have not reached their target band
+        # yet, so the FAR study must not filter on the performance criterion
+        # (SearchSpace defaults filter_pfc/filter_mdc to False).
+        horizons=(8,),
+        min_thresholds=(0.0, 0.01, 0.02),
+        noise_scales=(0.5, 1.0),
+        far_count=100,
+        probe_instances=16,
         max_rounds=150,
-        far=FARConfig(count=100, seed=0, filter_pfc=False, filter_mdc=False),
     )
 
-    # The spec is plain data: print it, save it, rebuild it — identically.
-    text = spec.to_json()
-    assert ExperimentSpec.from_json(text) == spec
-    print(f"experiment spec ({spec.size} grid cells):")
-    print(text)
+    # The space is plain data: print it, save it, rebuild it — identically.
+    assert SearchSpace.from_json(space.to_json()) == space
+    print(f"design space: {space.size} points over axes")
+    for axis, values in space.axes().items():
+        print(f"  {axis:14s} {values}")
 
-    result = run_experiments(spec, workers=4)
+    report = Explorer(space, "grid", store=STORE_PATH, workers="auto").run()
 
-    print("\nresult table (sorted by case study / backend / algorithm):")
-    header = f"{'case':12s} {'backend':8s} {'algorithm':10s} {'status':8s} " \
-             f"{'rounds':>6s} {'time[s]':>8s} {'FAR':>7s}"
+    print(f"\nstats: {report.stats}")
+    print("\nresult table (sorted by coordinates):")
+    header = (
+        f"{'case':12s} {'algo':9s} {'floor':>6s} {'noise':>6s} {'status':8s} "
+        f"{'FAR':>7s} {'margin':>7s} {'latency':>8s}"
+    )
     print(header)
-    for row in result.summary_rows():
-        far = row["false_alarm_rate"]
-        far_text = f"{100 * far:6.1f}%" if far is not None else "    n/a"
-        rounds = row["rounds"] if row["rounds"] is not None else -1
-        time_s = row["solver_time_s"] if row["solver_time_s"] is not None else float("nan")
-        print(f"{row['case_study']:12s} {row['backend']:8s} {row['algorithm']:10s} "
-              f"{row['status']:8s} {rounds:6d} {time_s:8.2f} {far_text}")
+    for row in report.summary_rows():
+        far = row.get("false_alarm_rate")
+        margin = row.get("stealth_margin")
+        latency = row.get("mean_detection_latency")
+        far_text = f"{100 * far:6.1f}%" if far is not None else f"{'n/a':>7s}"
+        margin_text = f"{margin:7.3f}" if margin is not None else f"{'n/a':>7s}"
+        latency_text = f"{latency:8.2f}" if latency is not None else f"{'n/a':>8s}"
+        print(
+            f"{row['case_study']:12s} {row['synthesizer']:9s} "
+            f"{row['min_threshold']:6.3f} {row['noise_scale']:6.2f} "
+            f"{row['status']:8s} {far_text} {margin_text} {latency_text}"
+        )
 
-    if result.errors:
-        print(f"\n{len(result.errors)} cell(s) failed:")
-        for row in result.errors:
-            print(f"  {row.case_study}/{row.backend}/{row.algorithm}: {row.error}")
+    print("\nPareto front over (FAR, detection latency, stealth margin):")
+    for row in report.front():
+        print(
+            f"  {row['case_study']}/{row['synthesizer']} floor={row['min_threshold']} "
+            f"noise={row['noise_scale']}: FAR={row.get('false_alarm_rate')}, "
+            f"margin={row.get('stealth_margin')}, "
+            f"latency={row.get('mean_detection_latency')}"
+        )
 
-    print("\nfull JSON export available via result.to_json()")
+    print("\nsensitivity to the threshold floor:")
+    for value, entry in report.sensitivity("min_threshold").items():
+        far = entry.get("false_alarm_rate", {})
+        print(f"  floor={value}: n={entry['count']}, FAR mean={far.get('mean')}")
+
+    if report.errors:
+        print(f"\n{len(report.errors)} point(s) failed:")
+        for row in report.errors:
+            print(f"  {row['case_study']}/{row['synthesizer']}: {row['error']}")
+
+    print(f"\nstore at {STORE_PATH} — rerun this script for a free warm pass")
+    print("full JSON export available via report.to_json()")
 
 
 if __name__ == "__main__":

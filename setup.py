@@ -19,4 +19,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23", "scipy>=1.9"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "ruff"],
+    },
 )

@@ -50,6 +50,11 @@ Subpackages
     The streaming fleet-monitoring engine: online detector wrappers,
     the vectorized ``FleetSimulator`` with scheduled attacks, alarm-event
     sinks, and the ``run_fleet`` deployment entry point.
+``repro.explore``
+    Design-space exploration: declarative ``SearchSpace`` axes, grid and
+    adaptive-bisection samplers, a persistent content-addressed
+    ``ResultStore``, and Pareto-front extraction over (FAR, detection
+    latency, stealth margin).
 """
 
 from repro.core import (
@@ -75,13 +80,26 @@ from repro.api import (
     ExperimentSpec,
     ExperimentUnit,
     RuntimeConfig,
+    ExploreConfig,
     PipelineReport,
     run_pipeline,
     run_fleet,
+    run_exploration,
     BatchRunner,
     ExperimentResult,
     ExperimentRow,
+    default_workers,
     run_experiments,
+)
+from repro.explore import (
+    AdaptiveBisectionSampler,
+    ExplorationReport,
+    ExplorePoint,
+    Explorer,
+    GridSampler,
+    ResultStore,
+    SearchSpace,
+    pareto_front,
 )
 from repro.runtime import (
     AlarmEvent,
@@ -102,6 +120,7 @@ from repro.registry import (
     Registry,
     RegistryError,
     register,
+    register_sampler,
     get_registry,
     available_backends,
     available_synthesizers,
@@ -109,11 +128,13 @@ from repro.registry import (
     available_noise_models,
     available_case_studies,
     available_attack_templates,
+    available_samplers,
     get_case_study,
     get_noise_model,
     get_detector,
     get_synthesizer,
     get_attack_template,
+    get_sampler,
 )
 from repro.falsification.registry import get_backend
 from repro.detectors import ThresholdVector, ResidueDetector, ChiSquareDetector, CusumDetector
@@ -151,7 +172,19 @@ __all__ = [
     "BatchRunner",
     "ExperimentResult",
     "ExperimentRow",
+    "default_workers",
     "run_experiments",
+    # design-space exploration
+    "ExploreConfig",
+    "run_exploration",
+    "Explorer",
+    "ExplorationReport",
+    "ExplorePoint",
+    "SearchSpace",
+    "GridSampler",
+    "AdaptiveBisectionSampler",
+    "ResultStore",
+    "pareto_front",
     # runtime fleet monitoring
     "run_fleet",
     "FleetSimulator",
@@ -178,6 +211,9 @@ __all__ = [
     "available_noise_models",
     "available_case_studies",
     "available_attack_templates",
+    "available_samplers",
+    "register_sampler",
+    "get_sampler",
     "get_backend",
     "get_case_study",
     "get_noise_model",

@@ -14,7 +14,11 @@ at any scale:
 * :class:`~repro.api.config.RuntimeConfig` +
   :func:`~repro.runtime.engine.run_fleet` — deploy the synthesized detectors
   online on a vectorized fleet of monitored plant instances under scheduled
-  attacks (see :mod:`repro.runtime`).
+  attacks (see :mod:`repro.runtime`);
+* :class:`~repro.explore.engine.ExploreConfig` +
+  :func:`~repro.explore.engine.run_exploration` — sweep whole design spaces
+  (thresholds × noise × horizons × ...) into Pareto fronts, backed by a
+  persistent content-addressed result store (see :mod:`repro.explore`).
 
 Every component name is resolved through :mod:`repro.registry`, so anything a
 downstream user registers there is sweepable here with no further plumbing.
@@ -28,8 +32,18 @@ from repro.api.config import (
     SynthesisConfig,
 )
 from repro.api.execute import PipelineReport, run_pipeline
-from repro.api.runner import BatchRunner, ExperimentResult, ExperimentRow, run_experiments
+from repro.api.runner import (
+    BatchRunner,
+    ExperimentResult,
+    ExperimentRow,
+    default_workers,
+    run_experiments,
+)
 from repro.runtime.engine import run_fleet
+
+# Imported last: repro.explore builds on the config/execute/runner modules
+# above (it may only import those submodules, never this package).
+from repro.explore.engine import ExploreConfig, run_exploration
 
 __all__ = [
     "SynthesisConfig",
@@ -37,11 +51,14 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentUnit",
     "RuntimeConfig",
+    "ExploreConfig",
     "PipelineReport",
     "run_pipeline",
     "run_fleet",
+    "run_exploration",
     "BatchRunner",
     "ExperimentResult",
     "ExperimentRow",
+    "default_workers",
     "run_experiments",
 ]

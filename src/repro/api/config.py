@@ -472,7 +472,14 @@ class RuntimeConfig:
 
 @dataclass
 class ExperimentUnit:
-    """One cell of an expanded :class:`ExperimentSpec` grid."""
+    """One cell of an expanded :class:`ExperimentSpec` grid.
+
+    ``probe`` is an optional online detection-latency probe description (set
+    by :class:`repro.explore.space.SearchSpace`): after synthesis, each
+    algorithm's threshold is deployed on a small attacked fleet and the
+    resulting detection rate / latency land in the row's ``metrics``.  See
+    :func:`repro.api.runner._run_probe` for the schema.
+    """
 
     case_study: str
     backend: str
@@ -481,6 +488,7 @@ class ExperimentUnit:
     max_rounds: int = 500
     min_threshold: float = 0.0
     far: FARConfig | None = None
+    probe: dict | None = None
 
     @property
     def label(self) -> str:
@@ -506,6 +514,7 @@ class ExperimentUnit:
             "max_rounds": self.max_rounds,
             "min_threshold": self.min_threshold,
             "far": None if self.far is None else self.far.to_dict(),
+            "probe": None if self.probe is None else dict(self.probe),
         }
 
     @classmethod

@@ -73,6 +73,99 @@ class PipelineReport:
         return rows
 
 
+def _report_payload(report: PipelineReport) -> dict:
+    """JSON form of a report for the content-addressed store (lossy).
+
+    Persists every scalar outcome plus the synthesized threshold vectors;
+    per-round histories, attack witnesses, traces and FAR details are
+    dropped — a report served from the store answers "what came out", not
+    "how it got there".
+    """
+    payload = {
+        "vulnerability": {
+            "status": report.vulnerability.status.value,
+            "verified": report.vulnerability.verified,
+            "elapsed": report.vulnerability.elapsed,
+        },
+        "synthesis": {},
+        "far_study": None,
+    }
+    for name, result in report.synthesis.items():
+        threshold = result.threshold
+        payload["synthesis"][name] = {
+            "threshold": None
+            if threshold is None
+            else {
+                "values": [float(v) for v in threshold.values],
+                "norm": threshold.norm,
+                "weights": None
+                if threshold.weights is None
+                else [float(w) for w in threshold.weights],
+            },
+            "rounds": result.rounds,
+            "converged": result.converged,
+            "status": result.status.value,
+            "vulnerable_without_detector": result.vulnerable_without_detector,
+            "total_solver_time": result.total_solver_time,
+            "algorithm": result.algorithm,
+        }
+    if report.far_study is not None:
+        study = report.far_study
+        payload["far_study"] = {
+            "rates": dict(study.rates),
+            "generated": study.generated,
+            "kept": study.kept,
+            "discarded_pfc": study.discarded_pfc,
+            "discarded_mdc": study.discarded_mdc,
+        }
+    return payload
+
+
+def _report_from_payload(payload: dict) -> PipelineReport:
+    """Rebuild a (lossy) :class:`PipelineReport` from :func:`_report_payload`."""
+    from repro.detectors.threshold import ThresholdVector
+    from repro.utils.results import SolveStatus
+
+    vulnerability = AttackSynthesisResult(
+        status=SolveStatus(payload["vulnerability"]["status"]),
+        verified=payload["vulnerability"]["verified"],
+        elapsed=payload["vulnerability"]["elapsed"],
+        diagnostics={"from_store": True},
+    )
+    report = PipelineReport(vulnerability=vulnerability)
+    for name, entry in payload["synthesis"].items():
+        stored = entry["threshold"]
+        threshold = None
+        if stored is not None:
+            norm = stored["norm"]
+            threshold = ThresholdVector(
+                values=stored["values"],
+                norm=norm if norm == "inf" else int(norm),
+                weights=stored["weights"],
+                metadata={"from_store": True},
+            )
+        report.synthesis[name] = ThresholdSynthesisResult(
+            threshold=threshold,
+            rounds=entry["rounds"],
+            converged=entry["converged"],
+            status=SolveStatus(entry["status"]),
+            vulnerable_without_detector=entry["vulnerable_without_detector"],
+            total_solver_time=entry["total_solver_time"],
+            algorithm=entry["algorithm"],
+        )
+    if payload["far_study"] is not None:
+        study = payload["far_study"]
+        report.far_study = FalseAlarmStudy(
+            rates=dict(study["rates"]),
+            generated=study["generated"],
+            kept=study["kept"],
+            discarded_pfc=study["discarded_pfc"],
+            discarded_mdc=study["discarded_mdc"],
+            details={"from_store": True},
+        )
+    return report
+
+
 def run_pipeline(
     problem,
     synthesis: SynthesisConfig | None = None,
@@ -80,6 +173,7 @@ def run_pipeline(
     *,
     backend=None,
     far_noise_model=None,
+    store=None,
 ) -> PipelineReport:
     """Run vulnerability check, threshold synthesis and FAR study on ``problem``.
 
@@ -99,9 +193,35 @@ def run_pipeline(
     far_noise_model:
         Optional noise-model *instance* overriding the FAR config's
         declarative noise settings.
+    store:
+        Optional content-addressed result store (a path or a
+        :class:`repro.explore.store.ResultStore`).  The call is keyed by the
+        problem's content fingerprint plus both configs; a hit skips all
+        solver work and returns a report rebuilt from disk (lossy: per-round
+        histories and attack witnesses are not persisted).  Caller-supplied
+        ``backend`` / ``far_noise_model`` *instances* bypass the store —
+        their configuration is not content-addressable.
     """
     if synthesis is None:
         synthesis = SynthesisConfig()
+
+    store_key = None
+    if store is not None and backend is None and far_noise_model is None:
+        from repro.explore.store import as_store, canonical_config_key, problem_fingerprint
+
+        store = as_store(store)
+        store_key = canonical_config_key(
+            {
+                "kind": "run_pipeline",
+                "problem": problem_fingerprint(problem),
+                "synthesis": synthesis.to_dict(),
+                "far": None if far is None else far.to_dict(),
+            }
+        )
+        cached = store.get(store_key)
+        if cached is not None:
+            return _report_from_payload(cached)
+
     solver = backend if backend is not None else synthesis.build_backend()
 
     # One incremental session serves the vulnerability check and every
@@ -128,6 +248,12 @@ def run_pipeline(
         if detectors:
             evaluator = far.build_evaluator(problem, noise_model=far_noise_model)
             report.far_study = evaluator.evaluate(detectors)
+
+    if store_key is not None:
+        # No flush: the JSONL log is durable per record and the index
+        # sidecar is rebuilt on open; flushing here would rewrite the whole
+        # index once per cached call.
+        store.put(store_key, {"kind": "run_pipeline", "problem": problem.name}, _report_payload(report))
     return report
 
 

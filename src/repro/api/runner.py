@@ -2,29 +2,65 @@
 
 :class:`BatchRunner` expands a spec's case-study × backend × algorithm grid
 into :class:`~repro.api.config.ExperimentUnit` cells, groups the cells that
-share a ``(case_study, backend)`` pair into one
+share every setting but the algorithm into one
 :func:`~repro.api.execute.run_pipeline` call — so the Algorithm 1
 vulnerability check, the incremental
 :class:`~repro.core.session.SynthesisSession` (one encoding + solver state
 for every synthesis round of every algorithm in the group) and the
 Monte-Carlo FAR population are all shared once per
-pair instead of once per algorithm — and executes the groups either serially
+group instead of once per algorithm — and executes the groups either serially
 (with case studies built once per name) or fanned out over a
 ``multiprocessing`` pool.  Each cell yields one :class:`ExperimentRow`;
 failures are captured per row instead of aborting the sweep.  Rows are
 sorted by ``(case_study, backend, algorithm)`` so result tables and JSON
 exports are reproducible run-to-run regardless of execution order.
+
+Two extensions serve :mod:`repro.explore`:
+
+* heterogeneous unit lists (cells differing in horizon, synthesis knobs,
+  FAR settings, ...) execute through :meth:`BatchRunner.run_units`, which
+  returns rows aligned with the input units;
+* a ``store=`` kwarg (path or :class:`repro.explore.store.ResultStore`)
+  content-addresses every unit by the canonical hash of its ``to_dict()``
+  payload: already-stored units are served from disk without any solver
+  work, fresh clean rows are appended the moment their group completes.
+  Rows carrying any failure — a cell error or a best-effort probe error —
+  are never persisted, so transient failures re-run on the next attempt.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.api.config import ExperimentSpec, ExperimentUnit, FARConfig, SynthesisConfig, _checked_fields
 from repro.api.execute import run_pipeline
 from repro.registry import CASE_STUDIES
+from repro.utils.validation import ValidationError
+
+
+def default_workers() -> int:
+    """Worker count bounded by this process's CPU *affinity*, not the machine.
+
+    ``len(os.sched_getaffinity(0))`` respects container/cgroup CPU limits
+    (a CI runner pinned to 2 cores reports 2, not the host's 64); platforms
+    without ``sched_getaffinity`` fall back to ``os.cpu_count()``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _resolve_workers(workers) -> int:
+    """Normalize the ``workers`` argument (``"auto"`` → CPU affinity count)."""
+    if workers == "auto":
+        return default_workers()
+    return int(workers) if workers else 0
 
 
 @dataclass
@@ -34,6 +70,11 @@ class ExperimentRow:
     ``status`` is the final solver verdict (``"sat"``/``"unsat"``/
     ``"unknown"``) or ``"error"`` when the cell raised; in the latter case
     ``error`` holds the exception summary and the metric fields stay ``None``.
+    ``metrics`` carries auxiliary JSON-native measurements: the synthesized
+    detector's ``stealth_margin`` (mean finite threshold — the residue room
+    a stealthy attacker retains) and, when the unit requested an online
+    probe, ``detection_rate`` / ``mean_detection_latency`` from deploying
+    the synthesized threshold on a small attacked fleet.
     """
 
     case_study: str
@@ -46,6 +87,7 @@ class ExperimentRow:
     solver_time_s: float | None = None
     false_alarm_rate: float | None = None
     error: str | None = None
+    metrics: dict = field(default_factory=dict)
 
     @property
     def sort_key(self) -> tuple[str, str, str]:
@@ -65,11 +107,12 @@ class ExperimentRow:
             "solver_time_s": self.solver_time_s,
             "false_alarm_rate": self.false_alarm_rate,
             "error": self.error,
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentRow":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output (``metrics`` optional)."""
         return cls(**_checked_fields(cls, data))
 
 
@@ -131,35 +174,124 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 # Group execution (shared by the serial path and the worker processes).
 # ----------------------------------------------------------------------
-def _group_payloads(units: list[ExperimentUnit]) -> list[dict]:
-    """Merge cells sharing ``(case_study, backend)`` into one execution payload.
+def _group_units(units: list[ExperimentUnit]) -> list[tuple[dict, list[int]]]:
+    """Merge cells sharing everything but the algorithm into one payload.
 
-    One pipeline run per group shares the vulnerability check and the FAR
-    benign population across that group's algorithms.
+    One pipeline run per group shares the vulnerability check, the
+    incremental synthesis session and the FAR benign population across that
+    group's algorithms.  Returns ``(payload, unit_indices)`` pairs; the
+    payload's ``algorithms`` list and the index list are aligned, as are the
+    row dicts :func:`_execute_group` returns.
     """
-    groups: dict[tuple[str, str], dict] = {}
-    for unit in units:
-        key = (unit.case_study, unit.backend)
-        group = groups.get(key)
-        if group is None:
-            group = unit.to_dict()
-            group["algorithms"] = []
-            del group["algorithm"]
-            groups[key] = group
-        group["algorithms"].append(unit.algorithm)
+    groups: dict[str, tuple[dict, list[int]]] = {}
+    for index, unit in enumerate(units):
+        payload = unit.to_dict()
+        algorithm = payload.pop("algorithm")
+        key = json.dumps(payload, sort_keys=True)
+        entry = groups.get(key)
+        if entry is None:
+            payload["algorithms"] = []
+            entry = (payload, [])
+            groups[key] = entry
+        entry[0]["algorithms"].append(algorithm)
+        entry[1].append(index)
     return list(groups.values())
 
 
+def _stealth_margin(threshold) -> float | None:
+    """Mean finite threshold value — the stealthy attacker's residue room.
+
+    Lower thresholds leave less room below the detection boundary (tighter
+    security) at the price of more benign alarms; ``None`` when no finite
+    threshold was placed (nothing synthesized or plant not vulnerable).
+    """
+    if threshold is None:
+        return None
+    finite = threshold.values[np.isfinite(threshold.values)]
+    if finite.size == 0:
+        return None
+    return float(np.mean(finite))
+
+
+def _run_probe(problem, probe: dict, threshold, scalar: float) -> dict:
+    """Deploy one synthesized threshold online and measure detection latency.
+
+    ``probe`` schema (all JSON-native, part of the unit's content address)::
+
+        {"detector": "online-residue" | "online-cusum",
+         "n_instances": int, "horizon": int | None, "noise_scale": float,
+         "attack": {"template": name, "options": {...}, "start": int},
+         "seed": int}
+
+    The synthesized threshold is deployed in the named online form and
+    streamed on a fleet of ``n_instances`` attacked plant instances under
+    the FAR study's benign noise envelope at ``noise_scale`` sigma:
+    ``online-residue`` deploys the per-step threshold vector as-is, while
+    ``online-cusum`` is a *derived* heuristic — it accumulates residue
+    excess over the candidate's mean finite threshold (``bias``) and alarms
+    after one threshold-unit of cumulative excess, so candidates with very
+    different per-step profiles but equal means probe identically.  A
+    ``bias`` attack with no explicit magnitude defaults to ``3 x`` the
+    detector's own mean threshold, so every candidate is probed at a
+    strength proportional to its own detection boundary.
+    """
+    from repro.registry import ATTACK_TEMPLATES
+    from repro.runtime.engine import _default_noise_model
+    from repro.runtime.fleet import FleetSimulator, ScheduledAttack
+
+    attack_spec = dict(probe.get("attack") or {"template": "bias"})
+    options = dict(attack_spec.get("options") or {})
+    template_name = attack_spec.get("template", "bias")
+    if template_name == "bias" and "bias" not in options:
+        options["bias"] = 3.0 * scalar
+    template = ATTACK_TEMPLATES.create(template_name, **options)
+    attack = ScheduledAttack(template=template, start=int(attack_spec.get("start", 0)))
+
+    detector_name = probe.get("detector", "online-residue")
+    if detector_name in ("online-residue", "residue"):
+        detector = threshold
+    elif detector_name in ("online-cusum", "cusum"):
+        from repro.runtime.online import OnlineCusum
+
+        detector = OnlineCusum(bias=scalar, threshold=scalar, norm=threshold.norm)
+    else:
+        raise ValidationError(
+            f"probe detector {detector_name!r} cannot be deployed from a "
+            "synthesized threshold; supported: online-residue, online-cusum"
+        )
+
+    noise_model = _default_noise_model(problem, float(probe.get("noise_scale", 1.0)))
+
+    simulator = FleetSimulator(
+        problem.system,
+        int(probe.get("n_instances", 24)),
+        int(probe.get("horizon") or problem.horizon),
+        detectors={"probe": detector},
+        noise_model=noise_model,
+        attacks=[attack],
+        seed=probe.get("seed", 0),
+    )
+    stats = simulator.run().detectors["probe"]
+    latency = stats.mean_detection_latency
+    return {
+        "detection_rate": stats.detection_rate,
+        "mean_detection_latency": None if latency is None else round(float(latency), 4),
+    }
+
+
 def _execute_group(group: dict, case=None) -> list[dict]:
-    """Run one ``(case_study, backend)`` group, one row dict per algorithm.
+    """Run one unit group, one row dict per algorithm (aligned with the list).
 
     Any failure — case-study build, synthesis, FAR — is recorded on every
     row of the group instead of aborting the sweep.  ``case`` may be a
     pre-built case study, a cached build exception to re-raise, or ``None``
-    to build from the group's options.
+    to build from the group's options.  Probe failures only void the probe
+    metrics of the affected row (``metrics["probe_error"]``), never the
+    synthesis outcome.
     """
     algorithms = list(group["algorithms"])
     far = group.get("far")
+    probe = group.get("probe")
     try:
         if isinstance(case, Exception):
             raise case
@@ -203,6 +335,16 @@ def _execute_group(group: dict, case=None) -> list[dict]:
         )
         if report.far_study is not None:
             row.false_alarm_rate = report.far_study.rates.get(algorithm)
+        margin = _stealth_margin(result.threshold)
+        if margin is not None:
+            row.metrics["stealth_margin"] = margin
+            if probe is not None:
+                try:
+                    row.metrics.update(
+                        _run_probe(case.problem, probe, result.threshold, margin)
+                    )
+                except Exception as exc:  # noqa: BLE001 - probe is best-effort
+                    row.metrics["probe_error"] = f"{type(exc).__name__}: {exc}"
         rows.append(row.to_dict())
     return rows
 
@@ -214,62 +356,138 @@ class BatchRunner:
     ----------
     spec:
         The sweep description (an :class:`ExperimentSpec` or its ``to_dict``
-        form).
+        form); may be ``None`` when only :meth:`run_units` is used.
     workers:
         ``None``/``0``/``1`` runs serially in-process (case studies are then
-        built once per name and shared across cells); ``>= 2`` fans the grid
-        out over a ``multiprocessing`` pool of that many workers.
+        built once per options payload and shared across cells); ``>= 2``
+        fans the grid out over a ``multiprocessing`` pool of that many
+        workers; ``"auto"`` sizes the pool from the process's CPU affinity
+        (container-safe, see :func:`default_workers`).
+    store:
+        Optional content-addressed result store (a path or a
+        :class:`repro.explore.store.ResultStore`): units whose canonical
+        config hash is already stored are served from disk; fresh non-error
+        rows are appended after execution.
     """
 
-    def __init__(self, spec: ExperimentSpec | dict, workers: int | None = None):
+    def __init__(
+        self,
+        spec: ExperimentSpec | dict | None = None,
+        workers: int | str | None = None,
+        store=None,
+    ):
         if isinstance(spec, dict):
             spec = ExperimentSpec.from_dict(spec)
         self.spec = spec
-        self.workers = int(workers) if workers else 0
+        self.workers = _resolve_workers(workers)
+        # Imported lazily: repro.explore builds on this module.
+        from repro.explore.store import as_store
+
+        self.store = as_store(store)
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
         """Execute every grid cell and return the sorted result table."""
-        units = self.spec.expand()
-        if self.workers >= 2:
-            rows = self._run_pool(units)
-        else:
-            rows = self._run_serial(units)
+        if self.spec is None:
+            raise ValidationError("BatchRunner.run() needs a spec; use run_units() otherwise")
+        rows = [row for _, row in self.run_units(self.spec.expand())]
         rows.sort(key=lambda row: row.sort_key)
         return ExperimentResult(spec=self.spec, rows=rows)
 
     # ------------------------------------------------------------------
-    def _run_serial(self, units: list[ExperimentUnit]) -> list[ExperimentRow]:
-        # Case studies are built once per name; a failing builder is cached
-        # as its exception so it is reported (not retried) for every group.
-        cases: dict[str, object] = {}
-        rows = []
-        for group in _group_payloads(units):
-            name = group["case_study"]
-            if name not in cases:
-                try:
-                    cases[name] = CASE_STUDIES.create(name, **group["case_study_options"])
-                except Exception as exc:  # noqa: BLE001 - recorded per-row below
-                    cases[name] = exc
-            rows.extend(
-                ExperimentRow.from_dict(row)
-                for row in _execute_group(group, case=cases[name])
-            )
-        return rows
+    def run_units(
+        self, units: list[ExperimentUnit]
+    ) -> list[tuple[str | None, ExperimentRow]]:
+        """Execute a heterogeneous unit list; rows aligned with the input.
 
-    def _run_pool(self, units: list[ExperimentUnit]) -> list[ExperimentRow]:
-        payloads = _group_payloads(units)
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context("spawn")
-        with context.Pool(processes=min(self.workers, len(payloads) or 1)) as pool:
-            results = pool.map(_execute_group, payloads)
-        return [ExperimentRow.from_dict(row) for result in results for row in result]
+        Returns ``(key, row)`` pairs where ``key`` is the unit's content
+        address (``None`` when no store is configured).  Stored units are
+        served without executing; fresh non-error rows are persisted.
+        """
+        from repro.explore.store import canonical_config_key
+
+        keys: list[str | None] = []
+        rows: dict[int, ExperimentRow] = {}
+        pending: list[tuple[int, ExperimentUnit]] = []
+        for index, unit in enumerate(units):
+            key = canonical_config_key(unit.to_dict()) if self.store is not None else None
+            keys.append(key)
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                rows[index] = ExperimentRow.from_dict(cached)
+            else:
+                pending.append((index, unit))
+
+        def persist(local_index: int, row: ExperimentRow) -> None:
+            # Called the moment a group finishes, so an interrupted batch
+            # keeps every completed row — that is the store's resume story.
+            # Rows with any failure (cell error or best-effort probe error)
+            # are never persisted: the store is first-write-wins, so caching
+            # them would pin a transient failure forever.
+            index, unit = pending[local_index]
+            rows[index] = row
+            clean = row.error is None and "probe_error" not in row.metrics
+            if self.store is not None and clean:
+                self.store.put(keys[index], unit.to_dict(), row.to_dict())
+
+        self._execute_units([unit for _, unit in pending], on_result=persist)
+        if self.store is not None:
+            self.store.flush()
+        return [(keys[index], rows[index]) for index in range(len(units))]
+
+    # ------------------------------------------------------------------
+    def _execute_units(self, units: list[ExperimentUnit], on_result=None) -> list[ExperimentRow]:
+        """Execute heterogeneous units; ``on_result(i, row)`` streams per row.
+
+        The callback fires as soon as a unit's group completes (serial: per
+        group; pool: as ``imap`` results arrive in order), not at batch end.
+        """
+        rows: list[ExperimentRow | None] = [None] * len(units)
+        if not units:
+            return rows
+        grouped = _group_units(units)
+        payloads = [payload for payload, _ in grouped]
+
+        def deliver(indices: list[int], row_dicts: list[dict]) -> None:
+            for index, row_dict in zip(indices, row_dicts):
+                row = ExperimentRow.from_dict(row_dict)
+                rows[index] = row
+                if on_result is not None:
+                    on_result(index, row)
+
+        if self.workers >= 2 and len(payloads) > 1:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context("spawn")
+            with context.Pool(processes=min(self.workers, len(payloads))) as pool:
+                for (_, indices), row_dicts in zip(
+                    grouped, pool.imap(_execute_group, payloads)
+                ):
+                    deliver(indices, row_dicts)
+        else:
+            # Case studies are built once per (name, options) payload; a
+            # failing builder is cached as its exception so it is reported
+            # (not retried) for every group.
+            cases: dict[str, object] = {}
+            for payload, indices in grouped:
+                cache_key = json.dumps(
+                    {"name": payload["case_study"], "options": payload["case_study_options"]},
+                    sort_keys=True,
+                )
+                if cache_key not in cases:
+                    try:
+                        cases[cache_key] = CASE_STUDIES.create(
+                            payload["case_study"], **payload["case_study_options"]
+                        )
+                    except Exception as exc:  # noqa: BLE001 - recorded per-row below
+                        cases[cache_key] = exc
+                deliver(indices, _execute_group(payload, case=cases[cache_key]))
+        return rows
 
 
 def run_experiments(
-    spec: ExperimentSpec | dict, workers: int | None = None
+    spec: ExperimentSpec | dict, workers: int | str | None = None, store=None
 ) -> ExperimentResult:
     """One-call batch entry point: expand ``spec``, execute it, return the table.
 
@@ -279,6 +497,9 @@ def run_experiments(
         An :class:`~repro.api.config.ExperimentSpec` (or its ``to_dict``
         form) describing the case-study × backend × algorithm grid.
     workers:
-        Optional ``multiprocessing`` fan-out (see :class:`BatchRunner`).
+        Optional ``multiprocessing`` fan-out (see :class:`BatchRunner`);
+        ``"auto"`` sizes the pool from the CPU affinity.
+    store:
+        Optional content-addressed result store (see :class:`BatchRunner`).
     """
-    return BatchRunner(spec, workers=workers).run()
+    return BatchRunner(spec, workers=workers, store=store).run()

@@ -1,0 +1,99 @@
+"""Non-dominated front extraction over exploration result rows.
+
+Works on the flat row dicts the :class:`~repro.explore.engine.Explorer`
+produces (coordinates + outcome + metrics).  All objectives are
+*minimized*:
+
+* ``false_alarm_rate`` — benign alarms are cost;
+* ``mean_detection_latency`` — slow detection is cost;
+* ``stealth_margin`` — mean finite threshold, the residue room a stealthy
+  attacker retains below the detection boundary.
+
+A missing objective value (``None``) is treated as ``+inf``: the row can
+still reach the front through the objectives it does have, but never beats
+a row that actually measured the missing quantity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.explore.space import DEFAULT_OBJECTIVES
+
+__all__ = ["DEFAULT_OBJECTIVES", "objective_vector", "dominates", "pareto_front", "front_signature"]
+
+
+def objective_vector(row: dict, objectives=DEFAULT_OBJECTIVES) -> tuple[float, ...]:
+    """The row's objective values, with ``None``/absent mapped to ``+inf``."""
+    vector = []
+    for objective in objectives:
+        value = row.get(objective)
+        vector.append(math.inf if value is None else float(value))
+    return tuple(vector)
+
+
+def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def _candidate(row: dict) -> bool:
+    return row.get("error") is None and row.get("feasible", True)
+
+
+def pareto_front(rows: list[dict], objectives=DEFAULT_OBJECTIVES) -> list[dict]:
+    """The non-dominated subset of ``rows`` (input order preserved).
+
+    Error rows and rows marked ``feasible: False`` (measured FAR above the
+    point's budget) never enter the front.  Rows with identical objective
+    vectors are all kept — they are equally good trade-offs.
+    """
+    candidates = [(row, objective_vector(row, objectives)) for row in rows if _candidate(row)]
+    front = []
+    for index, (row, vector) in enumerate(candidates):
+        if all(math.isinf(value) for value in vector):
+            continue  # nothing measured: no basis for a trade-off
+        dominated = any(
+            dominates(other, vector)
+            for other_index, (_, other) in enumerate(candidates)
+            if other_index != index
+        )
+        if not dominated:
+            front.append(row)
+    return front
+
+
+def front_signature(rows: list[dict], objectives=DEFAULT_OBJECTIVES) -> set[tuple[float, ...]]:
+    """The set of objective vectors on the front — sampler-order invariant.
+
+    Two explorations found "the same front" exactly when their signatures
+    are equal, regardless of which (equivalent) points realised each vector.
+    """
+    return {objective_vector(row, objectives) for row in pareto_front(rows, objectives)}
+
+
+def sensitivity(rows: list[dict], axis: str, objectives=DEFAULT_OBJECTIVES) -> dict:
+    """Per-axis-value objective summaries: how a single axis moves the metrics.
+
+    Returns ``{axis value: {"count": n, objective: {"mean", "min", "max"}}}``
+    over the candidate (non-error, feasible) rows; objectives with no
+    measured value at some axis value are omitted there.
+    """
+    groups: dict[object, list[dict]] = {}
+    for row in rows:
+        if _candidate(row):
+            groups.setdefault(row.get(axis), []).append(row)
+    summary: dict = {}
+    for value in sorted(groups, key=repr):
+        group = groups[value]
+        entry: dict = {"count": len(group)}
+        for objective in objectives:
+            measured = [row[objective] for row in group if row.get(objective) is not None]
+            if measured:
+                entry[objective] = {
+                    "mean": sum(measured) / len(measured),
+                    "min": min(measured),
+                    "max": max(measured),
+                }
+        summary[value] = entry
+    return summary

@@ -1,0 +1,149 @@
+"""Aggregated outcome of one design-space exploration.
+
+Mirrors :class:`~repro.api.execute.PipelineReport` one level up: where the
+pipeline report summarises one problem, an :class:`ExplorationReport`
+summarises a whole design space — every evaluated row, the Pareto front
+over the configured objectives, per-axis sensitivity summaries and the
+engine's cache/evaluation statistics — and is JSON round-trippable for
+archiving next to the store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.explore.pareto import front_signature, pareto_front, sensitivity
+from repro.explore.space import DEFAULT_OBJECTIVES, SearchSpace
+
+#: Stable row ordering: the coordinate columns in axis order.
+_SORT_FIELDS = (
+    "case_study",
+    "synthesizer",
+    "backend",
+    "detector",
+    "horizon",
+    "noise_scale",
+    "min_threshold",
+    "far_budget",
+)
+
+
+def _row_sort_key(row: dict) -> tuple:
+    # (is_missing, value) pairs keep None-valued axes (default horizon)
+    # comparable with set ones; each column is consistently typed otherwise.
+    return tuple(
+        (1, 0) if row.get(name) is None else (0, row[name]) for name in _SORT_FIELDS
+    )
+
+
+@dataclass
+class ExplorationReport:
+    """Result table, front and statistics of one :class:`Explorer` run.
+
+    Attributes
+    ----------
+    name:
+        The exploration's display name.
+    space:
+        The explored :class:`~repro.explore.space.SearchSpace` (``to_dict``
+        form, so the report stays plain data).
+    sampler:
+        Registry name of the sampler that drove the run.
+    objectives:
+        The minimized objective fields.
+    rows:
+        One flat dict per explored point: coordinates + synthesis outcome +
+        metrics + ``key`` (content address) + ``feasible`` (FAR within the
+        point's budget).
+    stats:
+        Engine counters: ``points`` proposed, ``units`` lowered,
+        ``units_executed`` fresh, ``store_hits`` / ``store_misses``,
+        ``rounds`` of sampler refinement.
+    """
+
+    name: str = "exploration"
+    space: dict = field(default_factory=dict)
+    sampler: str = "grid"
+    objectives: tuple[str, ...] = DEFAULT_OBJECTIVES
+    rows: list[dict] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.space, SearchSpace):
+            self.space = self.space.to_dict()
+        self.objectives = tuple(self.objectives)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> list[dict]:
+        """Every row, in the stable coordinate sort order."""
+        return sorted(self.rows, key=_row_sort_key)
+
+    def front(self) -> list[dict]:
+        """The non-dominated rows, in the stable coordinate sort order."""
+        return sorted(pareto_front(self.rows, self.objectives), key=_row_sort_key)
+
+    def front_signature(self) -> set[tuple]:
+        """Objective vectors on the front (order/point-identity invariant)."""
+        return front_signature(self.rows, self.objectives)
+
+    def sensitivity(self, axis: str) -> dict:
+        """Objective summaries grouped by one axis (see :func:`pareto.sensitivity`)."""
+        return sensitivity(self.rows, axis, self.objectives)
+
+    def best(self, objective: str) -> dict | None:
+        """The feasible row minimizing one objective (``None`` if unmeasured)."""
+        measured = [
+            row
+            for row in self.rows
+            if row.get("error") is None
+            and row.get("feasible", True)
+            and row.get(objective) is not None
+        ]
+        if not measured:
+            return None
+        return min(measured, key=lambda row: (row[objective], _row_sort_key(row)))
+
+    @property
+    def errors(self) -> list[dict]:
+        """Rows that failed with an exception."""
+        return [row for row in self.rows if row.get("error") is not None]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "name": self.name,
+            "space": dict(self.space),
+            "sampler": self.sampler,
+            "objectives": list(self.objectives),
+            "rows": self.summary_rows(),
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationReport":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            space=dict(data["space"]),
+            sampler=data["sampler"],
+            objectives=tuple(data["objectives"]),
+            rows=[dict(row) for row in data["rows"]],
+            stats=dict(data.get("stats", {})),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON string form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExplorationReport":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

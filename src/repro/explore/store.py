@@ -1,0 +1,340 @@
+"""Persistent content-addressed result store for design-space exploration.
+
+The store maps a *stable hash of the canonical config dict* of an experiment
+point to the JSON row that point produced, so that re-running an exploration
+— or any :func:`repro.api.execute.run_pipeline` / ``BatchRunner`` call opted
+in via a ``store=`` kwarg — never recomputes an already-solved point and can
+resume after an interruption.
+
+Layout (one directory per store)::
+
+    <path>/results.jsonl   one JSON object per line: {"key", "config", "row"}
+    <path>/index.json      {"version", "count", "size", "keys": {key: offset}}
+
+``results.jsonl`` is the single source of truth and is strictly append-only;
+``index.json`` is a rebuildable sidecar mapping every key to its record's
+byte offset — the store itself replays the log on open (rows live in
+memory), so the index exists for external tooling and future partial
+readers to seek records without a full replay, and as cheap staleness
+metadata (``size``/``count``).  On open the JSONL log is replayed line by
+line:
+
+* a truncated/corrupt *trailing* line (the signature of a crash mid-append)
+  is dropped and the file truncated back to the last good record;
+* a corrupt *interior* line is skipped (its key simply re-computes);
+* a missing or stale ``index.json`` is rebuilt from the replay.
+
+Cache-key stability guarantees
+------------------------------
+Keys are SHA-256 over the canonical JSON form of the config dict (sorted
+keys, no whitespace, ``allow_nan=False``).  Configs are plain data produced
+by ``to_dict()`` methods, so a key is stable across processes, Python
+versions and machines as long as the config is value-identical.  Anything
+that changes the computation (case study, horizon, backend, algorithm,
+synthesis knobs, FAR population, probe settings) must therefore be *in* the
+config; anything that does not (e.g. a Pareto feasibility budget) must stay
+out, so equal computations share one entry.
+
+The first write for a key wins: a ``put`` for an existing key is a no-op,
+which keeps rows served from the store bit-identical to the first fresh
+computation for the lifetime of the store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+_INDEX_VERSION = 1
+_INDEX_FLUSH_EVERY = 64
+
+
+def canonical_config_key(config: dict) -> str:
+    """Stable SHA-256 hex key of a JSON-compatible config dict.
+
+    Raises :class:`ValidationError` when ``config`` is not canonicalizable
+    (non-JSON values, NaN/Infinity) — a loud failure beats a silently
+    unstable cache key.
+    """
+    try:
+        text = json.dumps(
+            config, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"config is not canonicalizable for content addressing: {exc}"
+        ) from exc
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _float_token(value: float):
+    """A float as an exact, canonical-JSON-safe token (inf/nan as strings)."""
+    value = float(value)
+    return value if np.isfinite(value) else repr(value)
+
+
+def _array_token(value) -> list | None:
+    """Exact list form of an array-like (hash input; None passes through)."""
+    if value is None:
+        return None
+    return [_float_token(v) for v in np.asarray(value, dtype=float).reshape(-1)]
+
+
+def _structure_token(obj):
+    """Exact JSON-compatible form of a (possibly nested) dataclass tree.
+
+    Criteria and monitors are dataclasses over numbers and numpy arrays;
+    walking their fields keeps every float at full value — unlike ``repr``,
+    whose numpy formatting rounds to the *display* precision and depends on
+    the process's ``np.printoptions`` (a correctness hazard for a cache
+    key).  Exotic non-dataclass members fall back to ``repr`` best-effort.
+    """
+    if isinstance(obj, float):
+        return _float_token(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, np.generic):
+        return _structure_token(obj.item())
+    if isinstance(obj, np.ndarray):
+        return {
+            "__array__": _array_token(obj) if obj.dtype.kind == "f" else obj.reshape(-1).tolist(),
+            "shape": list(obj.shape),
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        token = {"__type__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            token[field.name] = _structure_token(getattr(obj, field.name))
+        return token
+    if isinstance(obj, (list, tuple)):
+        return [_structure_token(value) for value in obj]
+    if isinstance(obj, dict):
+        return {
+            str(key): _structure_token(value)
+            for key, value in sorted(obj.items(), key=lambda item: str(item[0]))
+        }
+    return repr(obj)
+
+
+def problem_fingerprint(problem) -> str:
+    """Content hash of a :class:`~repro.core.problem.SynthesisProblem`.
+
+    Covers everything the synthesis outcome depends on: the closed-loop
+    matrices (exact float values), the analysis horizon, the attacker model
+    and the criterion/monitor definitions (recursively tokenized dataclass
+    fields, exact to the float).  Used to content-address
+    :func:`repro.api.execute.run_pipeline` calls, which take a problem
+    *instance* rather than a registry name.
+    """
+    system = problem.system
+    plant = system.plant
+    payload = {
+        "name": problem.name,
+        "horizon": int(problem.horizon),
+        "strictness": float(problem.strictness),
+        "residue_norm": str(problem.residue_norm),
+        "residue_weights": _array_token(problem.residue_weights),
+        "x0": _array_token(problem.x0),
+        "initial_box": (
+            None
+            if problem.initial_box is None
+            else [_array_token(problem.initial_box[0]), _array_token(problem.initial_box[1])]
+        ),
+        "attack_mask": (
+            None if problem.attack_mask is None else sorted(problem.attack_mask.attackable)
+        ),
+        "attack_bound": (
+            None if problem.attack_bound is None else _array_token(problem.attack_bound)
+        ),
+        "pfc": _structure_token(problem.pfc),
+        "mdc": _structure_token(problem.mdc),
+        "plant": {
+            "A": _array_token(plant.A),
+            "B": _array_token(plant.B),
+            "C": _array_token(plant.C),
+            "D": _array_token(getattr(plant, "D", None)),
+            "dt": None if plant.dt is None else float(plant.dt),
+            "R_v": _array_token(plant.R_v),
+            "Q_w": _array_token(plant.Q_w),
+        },
+        "K": _array_token(system.K),
+        "L": _array_token(system.L),
+        "reference": _array_token(system.reference),
+        "feedforward": _array_token(system.feedforward),
+    }
+    return canonical_config_key(payload)
+
+
+class StoreCorruptionWarning(UserWarning):
+    """Emitted when opening a store requires dropping unreadable records."""
+
+
+class ResultStore:
+    """Persistent content-addressed map from config keys to result rows.
+
+    Parameters
+    ----------
+    path:
+        Directory holding ``results.jsonl`` and ``index.json``; created on
+        first use.
+
+    Notes
+    -----
+    All rows are held in memory (they are small JSON dicts); the JSONL log
+    is append-only and flushed per record, so a run interrupted at any point
+    loses at most the record being written — which the next open detects and
+    truncates.  ``hits`` / ``misses`` count :meth:`get` outcomes since open,
+    so callers can report cache effectiveness.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.path / "results.jsonl"
+        self.index_path = self.path / "index.json"
+        self._rows: dict[str, dict] = {}
+        self._offsets: dict[str, int] = {}
+        self._dirty = 0
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.results_path.exists():
+            self._write_index()
+            return
+        dropped = 0
+        good_end = 0
+        with self.results_path.open("rb") as handle:
+            offset = 0
+            for line in handle:
+                next_offset = offset + len(line)
+                try:
+                    # A record not terminated by its newline is the partial
+                    # write of an interrupted append — even when the bytes
+                    # happen to parse as JSON, the next append would fuse
+                    # with it, so it must be truncated, not kept.
+                    if not line.endswith(b"\n"):
+                        raise ValueError("unterminated record")
+                    record = json.loads(line.decode("utf-8"))
+                    key = record["key"]
+                    row = record["row"]
+                    if not isinstance(key, str) or not isinstance(row, dict):
+                        raise ValueError("malformed record")
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    dropped += 1
+                    offset = next_offset
+                    continue
+                if key not in self._rows:  # first write wins
+                    self._rows[key] = row
+                    self._offsets[key] = offset
+                good_end = next_offset
+                offset = next_offset
+        size = self.results_path.stat().st_size
+        if dropped:
+            warnings.warn(
+                f"result store {self.path}: dropped {dropped} unreadable record(s); "
+                f"{len(self._rows)} recovered",
+                StoreCorruptionWarning,
+                stacklevel=3,
+            )
+        if good_end < size:
+            # Truncate a partially-written tail so the next append starts
+            # from a clean record boundary.
+            with self.results_path.open("r+b") as handle:
+                handle.truncate(good_end)
+        if not self._index_current():
+            self._write_index()
+
+    # ------------------------------------------------------------------
+    def _index_current(self) -> bool:
+        """Whether the on-disk index matches the replayed log (skip rewrite)."""
+        try:
+            index = json.loads(self.index_path.read_text())
+        except (OSError, ValueError):
+            return False
+        size = self.results_path.stat().st_size if self.results_path.exists() else 0
+        return (
+            index.get("version") == _INDEX_VERSION
+            and index.get("size") == size
+            and index.get("keys") == self._offsets
+        )
+
+    def _write_index(self) -> None:
+        payload = {
+            "version": _INDEX_VERSION,
+            "count": len(self._rows),
+            "size": self.results_path.stat().st_size if self.results_path.exists() else 0,
+            "keys": self._offsets,
+        }
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.index_path)
+        self._dirty = 0
+
+    def flush(self) -> None:
+        """Persist the index sidecar (the JSONL log is always up to date)."""
+        if self._dirty:
+            self._write_index()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The stored row for ``key`` (a copy), or ``None`` on a miss."""
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return json.loads(json.dumps(row))
+
+    def put(self, key: str, config: dict, row: dict) -> bool:
+        """Append one record; returns False (no-op) when ``key`` exists."""
+        if key in self._rows:
+            return False
+        record = {"key": key, "config": config, "row": row}
+        line = json.dumps(record, sort_keys=True) + "\n"
+        offset = self.results_path.stat().st_size if self.results_path.exists() else 0
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+        self._rows[key] = json.loads(json.dumps(row))
+        self._offsets[key] = offset
+        self._dirty += 1
+        if self._dirty >= _INDEX_FLUSH_EVERY:
+            self._write_index()
+        return True
+
+    # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Every stored key (unsorted-input insertion order)."""
+        return list(self._rows)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.path)!r}, entries={len(self)})"
+
+
+def as_store(store) -> ResultStore | None:
+    """Coerce a ``store=`` argument: None, a path, or a ResultStore."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

@@ -7,7 +7,7 @@ This module replaces them with one mechanism: a :class:`Registry` per
 component kind, populated by ``@register`` decorators at class/function
 definition time, with dynamic error messages and introspection helpers.
 
-Six registries ship with the library:
+Seven registries ship with the library:
 
 ==================  =============================================  =========================
 registry            built-in names                                 registered object
@@ -23,6 +23,7 @@ registry            built-in names                                 registered ob
                     ``quadtank``, ``cruise``, ``pendulum``
 ``ATTACK_TEMPLATES``  ``none``, ``bias``, ``ramp``, ``surge``,     parametric attack template
                     ``geometric``, ``replay``
+``SAMPLERS``        ``grid``, ``adaptive-bisection``               design-space sampler
 ==================  =============================================  =========================
 
 Downstream users extend any of them::
@@ -171,6 +172,7 @@ DETECTORS = Registry(
 NOISE_MODELS = Registry("noise model", ("repro.noise.models",))
 CASE_STUDIES = Registry("case study", ("repro.systems",))
 ATTACK_TEMPLATES = Registry("attack template", ("repro.attacks.templates",))
+SAMPLERS = Registry("sampler", ("repro.explore.space",))
 
 REGISTRIES: dict[str, Registry] = {
     "backend": BACKENDS,
@@ -179,6 +181,7 @@ REGISTRIES: dict[str, Registry] = {
     "noise_model": NOISE_MODELS,
     "case_study": CASE_STUDIES,
     "attack_template": ATTACK_TEMPLATES,
+    "sampler": SAMPLERS,
 }
 
 
@@ -229,6 +232,16 @@ def available_attack_templates() -> list[str]:
     return ATTACK_TEMPLATES.available()
 
 
+def available_samplers() -> list[str]:
+    """Names of the registered design-space samplers."""
+    return SAMPLERS.available()
+
+
+def register_sampler(name: str, obj: object | None = None, *, overwrite: bool = False):
+    """Register a design-space sampler: ``@register_sampler("my-sampler")``."""
+    return SAMPLERS.register(name, obj, overwrite=overwrite)
+
+
 def get_case_study(name: str, **kwargs):
     """Build the case study registered under ``name`` (kwargs go to its builder)."""
     return CASE_STUDIES.create(name, **kwargs)
@@ -252,3 +265,8 @@ def get_synthesizer(name: str, **kwargs):
 def get_attack_template(name: str, **kwargs):
     """Instantiate the attack template registered under ``name``."""
     return ATTACK_TEMPLATES.create(name, **kwargs)
+
+
+def get_sampler(name: str, **kwargs):
+    """Instantiate the design-space sampler registered under ``name``."""
+    return SAMPLERS.create(name, **kwargs)

@@ -115,17 +115,140 @@ class TestMultiprocessSweep:
 
 class TestGrouping:
     def test_cells_sharing_case_and_backend_share_one_pipeline_run(self, sweep_spec):
-        from repro.api.runner import _group_payloads
+        from repro.api.runner import _group_units
 
-        groups = _group_payloads(sweep_spec.expand())
+        groups = _group_units(sweep_spec.expand())
         assert len(groups) == 4  # 2 cases x 2 backends; algorithms merged
-        assert all(group["algorithms"] == ["stepwise", "static"] for group in groups)
-        assert {(g["case_study"], g["backend"]) for g in groups} == {
+        assert all(
+            payload["algorithms"] == ["stepwise", "static"] for payload, _ in groups
+        )
+        assert {(p["case_study"], p["backend"]) for p, _ in groups} == {
             ("dcmotor", "lp"),
             ("dcmotor", "smt"),
             ("trajectory", "lp"),
             ("trajectory", "smt"),
         }
+        # The index lists map each group's rows back onto the input units.
+        units = sweep_spec.expand()
+        for payload, indices in groups:
+            for algorithm, index in zip(payload["algorithms"], indices):
+                assert units[index].algorithm == algorithm
+                assert units[index].case_study == payload["case_study"]
+
+    def test_units_differing_beyond_algorithm_do_not_merge(self):
+        from repro.api.config import ExperimentUnit
+        from repro.api.runner import _group_units
+
+        units = [
+            ExperimentUnit("dcmotor", "lp", "static", case_study_options={"horizon": 8}),
+            ExperimentUnit("dcmotor", "lp", "stepwise", case_study_options={"horizon": 8}),
+            ExperimentUnit("dcmotor", "lp", "static", case_study_options={"horizon": 10}),
+            ExperimentUnit("dcmotor", "lp", "static", min_threshold=0.01,
+                           case_study_options={"horizon": 8}),
+        ]
+        groups = _group_units(units)
+        assert len(groups) == 3  # horizon-10 and min-threshold cells stay apart
+        merged = [payload["algorithms"] for payload, _ in groups]
+        assert ["static", "stepwise"] in merged
+
+
+class TestResultTable:
+    def _result(self) -> ExperimentResult:
+        spec = ExperimentSpec(
+            case_studies=("dcmotor",), backends=("lp",), algorithms=("static", "stepwise")
+        )
+        rows = [
+            ExperimentRow("dcmotor", "lp", "static", status="unsat", converged=True,
+                          rounds=1, false_alarm_rate=0.25,
+                          metrics={"stealth_margin": 0.5}),
+            ExperimentRow("dcmotor", "lp", "stepwise", status="error",
+                          error="RuntimeError: boom"),
+        ]
+        return ExperimentResult(spec=spec, rows=rows)
+
+    def test_select_matches_multiple_criteria(self):
+        result = self._result()
+        assert len(result.select(case_study="dcmotor")) == 2
+        assert result.select(case_study="dcmotor", algorithm="static")[0].rounds == 1
+        assert result.select(algorithm="static", status="error") == []
+        assert result.select(case_study="no-such") == []
+
+    def test_errors_property(self):
+        result = self._result()
+        assert [row.algorithm for row in result.errors] == ["stepwise"]
+        assert result.errors[0].status == "error"
+
+    def test_json_round_trip_preserves_error_rows_and_metrics(self):
+        result = self._result()
+        rebuilt = ExperimentResult.from_json(result.to_json())
+        assert rebuilt.summary_rows() == result.summary_rows()
+        assert len(rebuilt.errors) == 1
+        assert rebuilt.errors[0].error == "RuntimeError: boom"
+        assert rebuilt.errors[0].false_alarm_rate is None
+        kept = rebuilt.select(algorithm="static")[0]
+        assert kept.metrics == {"stealth_margin": 0.5}
+
+    def test_row_dicts_without_metrics_still_load(self):
+        """Pre-exploration JSON exports carried no metrics field."""
+        row = ExperimentRow.from_dict(
+            {"case_study": "dcmotor", "backend": "lp", "algorithm": "static"}
+        )
+        assert row.metrics == {}
+
+
+class TestStoreIntegration:
+    def test_store_serves_second_run_without_execution(self, tmp_path):
+        spec = ExperimentSpec(
+            case_studies=("trajectory",),
+            backends=("lp",),
+            algorithms=("static", "stepwise"),
+            case_study_options={"trajectory": {"horizon": 8}},
+            min_threshold=0.005,
+            max_rounds=100,
+            far=FARConfig(count=10, seed=0, filter_pfc=False, filter_mdc=False),
+        )
+        from repro.explore import ResultStore
+
+        store = ResultStore(tmp_path / "s")
+        first = run_experiments(spec, store=store)
+        assert store.misses == 2 and len(store) == 2
+        second = run_experiments(spec, store=store)
+        assert store.hits == 2
+        assert second.summary_rows() == first.summary_rows()
+
+    def test_probe_error_rows_are_not_persisted(self, tmp_path):
+        """A failed (best-effort) probe must not pin a crippled row forever."""
+        from repro.api.config import ExperimentUnit
+        from repro.api.runner import BatchRunner
+        from repro.explore import ResultStore
+
+        unit = ExperimentUnit(
+            "trajectory", "lp", "static",
+            case_study_options={"horizon": 8},
+            probe={"detector": "no-such-deployment", "n_instances": 4},
+        )
+        store = ResultStore(tmp_path / "s")
+        ((key, row),) = BatchRunner(store=store).run_units([unit])
+        assert row.error is None
+        assert "probe_error" in row.metrics
+        assert len(store) == 0 and key not in store
+
+    def test_error_rows_are_not_persisted(self, tmp_path):
+        @CASE_STUDIES.register("test-store-broken")
+        def build_broken():
+            raise RuntimeError("boom")
+
+        from repro.explore import ResultStore
+
+        try:
+            spec = ExperimentSpec(
+                case_studies=("test-store-broken",), backends=("lp",), algorithms=("static",)
+            )
+            store = ResultStore(tmp_path / "s")
+            result = run_experiments(spec, store=store)
+            assert result.errors and len(store) == 0
+        finally:
+            CASE_STUDIES.unregister("test-store-broken")
 
 
 class TestErrorHandling:
