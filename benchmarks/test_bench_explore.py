@@ -1,12 +1,17 @@
 """Exploration benchmarks: store reuse and adaptive-sampler efficiency.
 
-Three guarantees back the ``repro.explore`` subsystem:
+Four guarantees back the ``repro.explore`` subsystem:
 
 * **warm-store re-runs are free** — re-exploring a 24-point space against a
   populated content-addressed store issues *zero* solver calls and is at
   least 10x faster than the cold run;
 * **store hits are bit-identical** — the rows served from disk equal the
   fresh computation exactly, field for field;
+* **evaluation-only variations reuse the synthesis half** — a 24-point
+  exploration that varies *only* the benign-noise scale over an
+  already-synthesized space finds every point's synthesis (and relaxation)
+  record under its synthesis key and issues *zero* solver calls, re-running
+  only the cheap FAR/probe evaluation half;
 * **adaptive bisection beats the grid** — on the DC-motor noise-scale sweep
   the adaptive sampler recovers the exhaustive grid's Pareto front with at
   most half of the grid's synthesis (Algorithm 1) calls, by never stepping
@@ -86,6 +91,70 @@ def test_warm_store_rerun_is_free_and_bit_identical(benchmark, tmp_path, monkeyp
     # (c) store hits are bit-identical to the fresh computation.
     assert warm.summary_rows() == cold.summary_rows()
     assert warm.front_signature() == cold.front_signature()
+
+
+def test_noise_scale_variations_reuse_synthesis_with_zero_solver_calls(
+    benchmark, tmp_path, monkeypatch
+):
+    """Synthesis/evaluation key split: 24 noise-only points, 0 solver calls.
+
+    The seed pass synthesizes (and relaxes) one point per synthesizer at one
+    noise scale; the 24-point pass varies only the benign-noise scale — an
+    evaluation-half change — so every unit misses as a full row but finds
+    its synthesis record under the synthesis key and re-runs only the
+    FAR study and the probe fleet.
+    """
+    settings = dict(
+        case_studies=("dcmotor",),
+        synthesizers=("stepwise", "static"),
+        horizons=(8,),
+        min_thresholds=(0.02,),
+        relax=True,
+        far_count=20,
+        probe_instances=6,
+        max_rounds=100,
+    )
+    seed_space = SearchSpace(noise_scales=(1.0,), **settings)
+    sweep_space = SearchSpace(
+        noise_scales=tuple(0.25 + 0.25 * i for i in range(12)), **settings
+    )
+    assert sweep_space.size == 24
+    counter = SolverCallCounter(monkeypatch)
+
+    def seed_then_sweep():
+        t0 = time.perf_counter()
+        seed = Explorer(seed_space, "grid", store=tmp_path / "store").run()
+        seed_s = time.perf_counter() - t0
+        seed_calls = counter.take()
+
+        t0 = time.perf_counter()
+        sweep = Explorer(sweep_space, "grid", store=tmp_path / "store").run()
+        sweep_s = time.perf_counter() - t0
+        sweep_calls = counter.take()
+        return seed, seed_s, seed_calls, sweep, sweep_s, sweep_calls
+
+    seed, seed_s, seed_calls, sweep, sweep_s, sweep_calls = run_once(
+        benchmark, seed_then_sweep
+    )
+
+    print(
+        f"\n--- synthesis-key reuse: seed {seed_space.size} point(s) in {seed_s:.2f}s "
+        f"({seed_calls} solver calls), then {sweep_space.size} noise-scale "
+        f"variations in {sweep_s:.2f}s ({sweep_calls} solver calls, "
+        f"{sweep.stats['synthesis_reused']} synthesis records reused)"
+    )
+    assert seed_calls > 0
+
+    # The whole 24-point sweep issues zero Algorithm 1 calls: every point's
+    # synthesis half is served from the store.
+    assert sweep_calls == 0
+    # The seeded noise scale is a full-row hit; the other 22 units execute
+    # their evaluation half from a reused synthesis record.
+    assert sweep.stats["store_hits"] == 2
+    assert sweep.stats["synthesis_reused"] == 22
+    assert sweep.stats["units_executed"] == 22
+    # Every variation measured a FAR — the evaluation half really ran.
+    assert all(row["false_alarm_rate"] is not None for row in sweep.rows)
 
 
 def test_adaptive_sampler_recovers_grid_front_with_half_the_calls(benchmark, monkeypatch):

@@ -20,6 +20,8 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.23", "scipy>=1.9"],
     extras_require={
-        "dev": ["pytest", "pytest-benchmark", "ruff"],
+        # matplotlib backs the optional ExplorationReport.plot_front helper
+        # (exercised headless in CI); the library runs without it.
+        "dev": ["pytest", "pytest-benchmark", "ruff", "matplotlib"],
     },
 )

@@ -77,6 +77,7 @@ from repro.core.synthesis_result import ThresholdSynthesisResult
 from repro.api import (
     SynthesisConfig,
     FARConfig,
+    RelaxConfig,
     ExperimentSpec,
     ExperimentUnit,
     RuntimeConfig,
@@ -164,6 +165,7 @@ __all__ = [
     # Experiment API v2
     "SynthesisConfig",
     "FARConfig",
+    "RelaxConfig",
     "ExperimentSpec",
     "ExperimentUnit",
     "RuntimeConfig",

@@ -28,10 +28,11 @@ from repro.api.config import (
     ExperimentSpec,
     ExperimentUnit,
     FARConfig,
+    RelaxConfig,
     RuntimeConfig,
     SynthesisConfig,
 )
-from repro.api.execute import PipelineReport, run_pipeline
+from repro.api.execute import PipelineReport, run_pipeline, synthesis_record
 from repro.api.runner import (
     BatchRunner,
     ExperimentResult,
@@ -48,12 +49,14 @@ from repro.explore.engine import ExploreConfig, run_exploration
 __all__ = [
     "SynthesisConfig",
     "FARConfig",
+    "RelaxConfig",
     "ExperimentSpec",
     "ExperimentUnit",
     "RuntimeConfig",
     "ExploreConfig",
     "PipelineReport",
     "run_pipeline",
+    "synthesis_record",
     "run_fleet",
     "run_exploration",
     "BatchRunner",

@@ -73,6 +73,81 @@ def _name_tuple(label: str, values) -> tuple[str, ...]:
 
 
 @dataclass
+class RelaxConfig:
+    """Declarative description of the threshold-relaxation pipeline stage.
+
+    When attached to :class:`SynthesisConfig.relax`, every synthesized
+    threshold vector is post-processed by
+    :class:`~repro.core.relaxation.ThresholdRelaxer` through the pipeline's
+    shared :class:`~repro.core.session.SynthesisSession` before FAR
+    evaluation and probe deployment: thresholds are raised wherever the
+    solver certifies that no stealthy successful attack appears, which
+    lowers the false-alarm rate without giving up the formal guarantee.
+
+    ``floor`` is the explicit residual-risk knob: set thresholds below it
+    are lifted *without* certification (recorded in
+    ``RelaxationResult.floored_instants``), which is what un-saturates the
+    FAR of un-floored synthesis on plants like the VSC whose terminal
+    threshold is provably pinned at ~0.  The paper's §IV FAR numbers accept
+    exactly this trade.
+
+    Parameters
+    ----------
+    floor:
+        Optional uncertified lower bound on set thresholds (``None`` keeps
+        relaxation fully solver-certified).
+    preserve_monotonicity:
+        Never raise a threshold above its predecessor (default True), so
+        monotonically decreasing vectors stay monotone.
+    raise_cap:
+        Optional absolute ceiling on raised values.
+    verify_input:
+        Re-verify that each input vector is safe before relaxing it
+        (default False — synthesis output is already certified when it
+        converged).
+    """
+
+    floor: float | None = None
+    preserve_monotonicity: bool = True
+    raise_cap: float | None = None
+    verify_input: bool = False
+
+    def __post_init__(self) -> None:
+        if self.floor is not None:
+            self.floor = float(self.floor)
+            if self.floor < 0:
+                raise ValidationError("floor must be non-negative")
+        if self.raise_cap is not None:
+            self.raise_cap = float(self.raise_cap)
+        if (
+            self.floor is not None
+            and self.raise_cap is not None
+            and self.floor > self.raise_cap
+        ):
+            raise ValidationError(
+                f"floor ({self.floor}) must not exceed raise_cap ({self.raise_cap}): "
+                "the floor would silently lift thresholds above the declared ceiling"
+            )
+        self.preserve_monotonicity = bool(self.preserve_monotonicity)
+        self.verify_input = bool(self.verify_input)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "floor": self.floor,
+            "preserve_monotonicity": self.preserve_monotonicity,
+            "raise_cap": self.raise_cap,
+            "verify_input": self.verify_input,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RelaxConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        return cls(**_checked_fields(cls, data))
+
+
+@dataclass
 class SynthesisConfig:
     """Declarative description of one threshold-synthesis run.
 
@@ -95,6 +170,11 @@ class SynthesisConfig:
     algorithm_options:
         Per-algorithm constructor overrides, keyed by algorithm name
         (e.g. ``{"pivot": {"pivot_rule": "first-violation"}}``).
+    relax:
+        Optional :class:`RelaxConfig` (or its ``to_dict`` form): when set,
+        every synthesized threshold is relaxed through the shared synthesis
+        session before FAR evaluation, and reports carry both the raw and
+        the relaxed vector.
     """
 
     algorithms: tuple[str, ...] = ("pivot", "stepwise", "static")
@@ -104,6 +184,7 @@ class SynthesisConfig:
     time_budget_per_call: float | None = None
     backend_options: dict = field(default_factory=dict)
     algorithm_options: dict = field(default_factory=dict)
+    relax: RelaxConfig | None = None
 
     def __post_init__(self) -> None:
         self.algorithms = _name_tuple("algorithms", self.algorithms)
@@ -127,11 +208,32 @@ class SynthesisConfig:
             )
         self.max_rounds = int(self.max_rounds)
         self.min_threshold = float(self.min_threshold)
+        if isinstance(self.relax, dict):
+            self.relax = RelaxConfig.from_dict(self.relax)
 
     # ------------------------------------------------------------------
     def build_backend(self):
         """Instantiate the configured backend."""
         return BACKENDS.create(self.backend, **self.backend_options)
+
+    def build_relaxer(self, backend=None):
+        """Instantiate the :class:`~repro.core.relaxation.ThresholdRelaxer`.
+
+        ``backend`` (an instance) overrides the configured backend name so
+        relaxation shares the pipeline's solver; returns ``None`` when no
+        ``relax`` stage is configured.
+        """
+        if self.relax is None:
+            return None
+        from repro.core.relaxation import ThresholdRelaxer
+
+        return ThresholdRelaxer(
+            backend=backend if backend is not None else self.backend,
+            time_budget_per_call=self.time_budget_per_call,
+            preserve_monotonicity=self.relax.preserve_monotonicity,
+            raise_cap=self.relax.raise_cap,
+            floor=self.relax.floor,
+        )
 
     def build_synthesizer(self, name: str, backend=None):
         """Instantiate the synthesizer registered under ``name``.
@@ -165,6 +267,7 @@ class SynthesisConfig:
             "time_budget_per_call": self.time_budget_per_call,
             "backend_options": dict(self.backend_options),
             "algorithm_options": {k: dict(v) for k, v in self.algorithm_options.items()},
+            "relax": None if self.relax is None else self.relax.to_dict(),
         }
 
     @classmethod
@@ -487,8 +590,13 @@ class ExperimentUnit:
     case_study_options: dict = field(default_factory=dict)
     max_rounds: int = 500
     min_threshold: float = 0.0
+    relax: RelaxConfig | None = None
     far: FARConfig | None = None
     probe: dict | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.relax, dict):
+            self.relax = RelaxConfig.from_dict(self.relax)
 
     @property
     def label(self) -> str:
@@ -502,10 +610,17 @@ class ExperimentUnit:
             backend=self.backend,
             max_rounds=self.max_rounds,
             min_threshold=self.min_threshold,
+            relax=self.relax,
         )
 
     def to_dict(self) -> dict:
-        """Plain-data representation (used as the multiprocessing payload)."""
+        """Plain-data representation (used as the multiprocessing payload).
+
+        This payload is also the unit's content address: its synthesis-half
+        fields and evaluation-half fields are hashed separately by
+        :func:`repro.explore.store.split_unit_keys`, so any new field must be
+        classified there as changing the synthesis or only the evaluation.
+        """
         return {
             "case_study": self.case_study,
             "backend": self.backend,
@@ -513,6 +628,7 @@ class ExperimentUnit:
             "case_study_options": dict(self.case_study_options),
             "max_rounds": self.max_rounds,
             "min_threshold": self.min_threshold,
+            "relax": None if self.relax is None else self.relax.to_dict(),
             "far": None if self.far is None else self.far.to_dict(),
             "probe": None if self.probe is None else dict(self.probe),
         }

@@ -2,17 +2,24 @@
 
 :func:`run_pipeline` is the canonical implementation of the workflow the
 paper evaluates — vulnerability check (Algorithm 1 with no residue
-detector), threshold synthesis per algorithm, FAR study — driven by the
-declarative configs in :mod:`repro.api.config`.  The legacy
-:class:`~repro.core.pipeline.SynthesisPipeline` is a thin adapter over this
-function.
+detector), threshold synthesis per algorithm, optional threshold relaxation,
+FAR study — driven by the declarative configs in :mod:`repro.api.config`.
+The legacy :class:`~repro.core.pipeline.SynthesisPipeline` is a thin adapter
+over this function.
 
 One :class:`~repro.core.session.SynthesisSession` is opened per call and
-shared by the vulnerability check and every synthesis algorithm, so the
-horizon unrolling and the static constraint blocks are built once per
-``(problem, backend)`` pair — the batch runner inherits this per-group
-sharing because each of its ``(case_study, backend)`` groups is exactly one
-``run_pipeline`` call.
+shared by the vulnerability check, every synthesis algorithm and the
+relaxation stage, so the horizon unrolling and the static constraint blocks
+are built once per ``(problem, backend)`` pair — the batch runner inherits
+this per-group sharing because each of its ``(case_study, backend)`` groups
+is exactly one ``run_pipeline`` call.
+
+The expensive half of a pipeline run (synthesis + relaxation) and the cheap
+half (FAR study, probes) are separable: callers can pass ``presynthesized``
+records — previously stored synthesis outcomes — and the call then issues
+**zero** solver work, re-running only the evaluation half.  That is how the
+content-addressed store reuses one synthesis across every FAR/noise/probe
+variation (see :func:`repro.explore.store.split_unit_keys`).
 """
 
 from __future__ import annotations
@@ -23,8 +30,13 @@ from dataclasses import dataclass, field
 from repro.api.config import FARConfig, SynthesisConfig
 from repro.core.attack_synthesis import AttackSynthesisResult
 from repro.core.far import FalseAlarmStudy
+from repro.core.relaxation import RelaxationResult
 from repro.core.session import SynthesisSession
 from repro.core.synthesis_result import ThresholdSynthesisResult
+
+#: FAR-study label suffix under which the pre-relaxation vector is evaluated
+#: when a ``relax`` stage is configured (``"<algorithm>:raw"``).
+RAW_FAR_SUFFIX = ":raw"
 
 
 @dataclass
@@ -37,14 +49,22 @@ class PipelineReport:
         Algorithm 1 result with no residue detector: does an attack bypass
         the existing monitors at all?
     synthesis:
-        Per-algorithm :class:`~repro.core.synthesis_result.ThresholdSynthesisResult`.
+        Per-algorithm :class:`~repro.core.synthesis_result.ThresholdSynthesisResult`
+        (always the **raw** synthesis outcome, relaxed or not).
+    relaxation:
+        Per-algorithm :class:`~repro.core.relaxation.RelaxationResult` when a
+        ``relax`` stage was configured (empty dict otherwise), carrying the
+        relaxed vector alongside the raw one in ``synthesis``.
     far_study:
         FAR comparison over the shared benign population (``None`` when FAR
-        evaluation was skipped).
+        evaluation was skipped).  With a ``relax`` stage, each algorithm is
+        evaluated twice: the deployed (relaxed) vector under its own name
+        and the raw vector under ``"<algorithm>:raw"``.
     """
 
     vulnerability: AttackSynthesisResult
     synthesis: dict[str, ThresholdSynthesisResult] = field(default_factory=dict)
+    relaxation: dict[str, RelaxationResult] = field(default_factory=dict)
     far_study: FalseAlarmStudy | None = None
 
     @property
@@ -52,11 +72,26 @@ class PipelineReport:
         """True when the plant's own monitors can be bypassed."""
         return self.vulnerability.found
 
+    def deployed_threshold(self, name: str):
+        """The vector actually deployed for ``name``: relaxed when available.
+
+        Falls back to the raw synthesized vector when no relaxation ran for
+        the algorithm; ``None`` when nothing was synthesized at all.
+        """
+        relaxed = self.relaxation.get(name)
+        if relaxed is not None:
+            return relaxed.threshold
+        result = self.synthesis.get(name)
+        return None if result is None else result.threshold
+
     def summary_rows(self) -> list[dict]:
         """Tabular summary, one row per algorithm, sorted by algorithm name.
 
         The sort makes JSON exports and printed tables reproducible
-        run-to-run regardless of synthesis execution order.
+        run-to-run regardless of synthesis execution order.  Rows grow
+        ``relax_rounds`` / ``relax_certified`` / ``false_alarm_rate_raw``
+        columns only when a ``relax`` stage ran, so consumers of un-relaxed
+        pipelines see the historical schema unchanged.
         """
         rows = []
         for name in sorted(self.synthesis):
@@ -69,46 +104,153 @@ class PipelineReport:
             }
             if self.far_study is not None and name in self.far_study.rates:
                 row["false_alarm_rate"] = self.far_study.rates[name]
+            relaxed = self.relaxation.get(name)
+            if relaxed is not None:
+                row["relax_rounds"] = relaxed.rounds
+                row["relax_certified"] = relaxed.certified
+                if self.far_study is not None:
+                    raw_rate = self.far_study.rates.get(name + RAW_FAR_SUFFIX)
+                    if raw_rate is not None:
+                        row["false_alarm_rate_raw"] = raw_rate
             rows.append(row)
         return rows
+
+
+# ----------------------------------------------------------------------
+# Lossy JSON payloads for the content-addressed store.
+# ----------------------------------------------------------------------
+def _threshold_payload(threshold) -> dict | None:
+    if threshold is None:
+        return None
+    return {
+        "values": [float(v) for v in threshold.values],
+        "norm": threshold.norm,
+        "weights": None
+        if threshold.weights is None
+        else [float(w) for w in threshold.weights],
+    }
+
+
+def _threshold_from_payload(stored: dict | None):
+    from repro.detectors.threshold import ThresholdVector
+
+    if stored is None:
+        return None
+    norm = stored["norm"]
+    return ThresholdVector(
+        values=stored["values"],
+        norm=norm if norm == "inf" else int(norm),
+        weights=stored["weights"],
+        metadata={"from_store": True},
+    )
+
+
+def _vulnerability_payload(vulnerability: AttackSynthesisResult) -> dict:
+    return {
+        "status": vulnerability.status.value,
+        "verified": vulnerability.verified,
+        "elapsed": vulnerability.elapsed,
+    }
+
+
+def _vulnerability_from_payload(payload: dict) -> AttackSynthesisResult:
+    from repro.utils.results import SolveStatus
+
+    return AttackSynthesisResult(
+        status=SolveStatus(payload["status"]),
+        verified=payload["verified"],
+        elapsed=payload["elapsed"],
+        diagnostics={"from_store": True},
+    )
+
+
+def _synthesis_payload(result: ThresholdSynthesisResult) -> dict:
+    return {
+        "threshold": _threshold_payload(result.threshold),
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "status": result.status.value,
+        "vulnerable_without_detector": result.vulnerable_without_detector,
+        "total_solver_time": result.total_solver_time,
+        "algorithm": result.algorithm,
+    }
+
+
+def _synthesis_from_payload(entry: dict) -> ThresholdSynthesisResult:
+    from repro.utils.results import SolveStatus
+
+    return ThresholdSynthesisResult(
+        threshold=_threshold_from_payload(entry["threshold"]),
+        rounds=entry["rounds"],
+        converged=entry["converged"],
+        status=SolveStatus(entry["status"]),
+        vulnerable_without_detector=entry["vulnerable_without_detector"],
+        total_solver_time=entry["total_solver_time"],
+        algorithm=entry["algorithm"],
+    )
+
+
+def _relaxation_payload(result: RelaxationResult | None) -> dict | None:
+    if result is None:
+        return None
+    return {
+        "threshold": _threshold_payload(result.threshold),
+        "raised_instants": list(result.raised_instants),
+        "floored_instants": list(result.floored_instants),
+        "rounds": result.rounds,
+        "certified": result.certified,
+        "total_solver_time": result.total_solver_time,
+    }
+
+
+def _relaxation_from_payload(entry: dict | None) -> RelaxationResult | None:
+    if entry is None:
+        return None
+    return RelaxationResult(
+        threshold=_threshold_from_payload(entry["threshold"]),
+        raised_instants=list(entry["raised_instants"]),
+        floored_instants=list(entry.get("floored_instants", [])),
+        rounds=entry["rounds"],
+        certified=entry["certified"],
+        total_solver_time=entry["total_solver_time"],
+    )
+
+
+def synthesis_record(report: PipelineReport, algorithm: str) -> dict:
+    """The reusable synthesis-half outcome of one algorithm, as plain JSON.
+
+    This is what the content-addressed store files under a *synthesis key*
+    (:func:`repro.explore.store.synthesis_store_key`): the vulnerability
+    verdict, the raw synthesis outcome and the relaxation outcome — exactly
+    the solver-dependent half of a pipeline run.  Feed it back through
+    ``run_pipeline(..., presynthesized={algorithm: record})`` to re-evaluate
+    FAR/probe variations with zero solver calls.
+    """
+    return {
+        "vulnerability": _vulnerability_payload(report.vulnerability),
+        "synthesis": _synthesis_payload(report.synthesis[algorithm]),
+        "relaxation": _relaxation_payload(report.relaxation.get(algorithm)),
+    }
 
 
 def _report_payload(report: PipelineReport) -> dict:
     """JSON form of a report for the content-addressed store (lossy).
 
-    Persists every scalar outcome plus the synthesized threshold vectors;
-    per-round histories, attack witnesses, traces and FAR details are
-    dropped — a report served from the store answers "what came out", not
-    "how it got there".
+    Persists every scalar outcome plus the synthesized (raw and relaxed)
+    threshold vectors; per-round histories, attack witnesses, traces and FAR
+    details are dropped — a report served from the store answers "what came
+    out", not "how it got there".
     """
     payload = {
-        "vulnerability": {
-            "status": report.vulnerability.status.value,
-            "verified": report.vulnerability.verified,
-            "elapsed": report.vulnerability.elapsed,
+        "vulnerability": _vulnerability_payload(report.vulnerability),
+        "synthesis": {
+            name: _synthesis_payload(result) for name, result in report.synthesis.items()
         },
-        "synthesis": {},
+        "relaxation": {
+            name: _relaxation_payload(result) for name, result in report.relaxation.items()
+        },
         "far_study": None,
     }
-    for name, result in report.synthesis.items():
-        threshold = result.threshold
-        payload["synthesis"][name] = {
-            "threshold": None
-            if threshold is None
-            else {
-                "values": [float(v) for v in threshold.values],
-                "norm": threshold.norm,
-                "weights": None
-                if threshold.weights is None
-                else [float(w) for w in threshold.weights],
-            },
-            "rounds": result.rounds,
-            "converged": result.converged,
-            "status": result.status.value,
-            "vulnerable_without_detector": result.vulnerable_without_detector,
-            "total_solver_time": result.total_solver_time,
-            "algorithm": result.algorithm,
-        }
     if report.far_study is not None:
         study = report.far_study
         payload["far_study"] = {
@@ -123,36 +265,15 @@ def _report_payload(report: PipelineReport) -> dict:
 
 def _report_from_payload(payload: dict) -> PipelineReport:
     """Rebuild a (lossy) :class:`PipelineReport` from :func:`_report_payload`."""
-    from repro.detectors.threshold import ThresholdVector
-    from repro.utils.results import SolveStatus
-
-    vulnerability = AttackSynthesisResult(
-        status=SolveStatus(payload["vulnerability"]["status"]),
-        verified=payload["vulnerability"]["verified"],
-        elapsed=payload["vulnerability"]["elapsed"],
-        diagnostics={"from_store": True},
+    report = PipelineReport(
+        vulnerability=_vulnerability_from_payload(payload["vulnerability"])
     )
-    report = PipelineReport(vulnerability=vulnerability)
     for name, entry in payload["synthesis"].items():
-        stored = entry["threshold"]
-        threshold = None
-        if stored is not None:
-            norm = stored["norm"]
-            threshold = ThresholdVector(
-                values=stored["values"],
-                norm=norm if norm == "inf" else int(norm),
-                weights=stored["weights"],
-                metadata={"from_store": True},
-            )
-        report.synthesis[name] = ThresholdSynthesisResult(
-            threshold=threshold,
-            rounds=entry["rounds"],
-            converged=entry["converged"],
-            status=SolveStatus(entry["status"]),
-            vulnerable_without_detector=entry["vulnerable_without_detector"],
-            total_solver_time=entry["total_solver_time"],
-            algorithm=entry["algorithm"],
-        )
+        report.synthesis[name] = _synthesis_from_payload(entry)
+    for name, entry in payload.get("relaxation", {}).items():
+        result = _relaxation_from_payload(entry)
+        if result is not None:
+            report.relaxation[name] = result
     if payload["far_study"] is not None:
         study = payload["far_study"]
         report.far_study = FalseAlarmStudy(
@@ -174,8 +295,9 @@ def run_pipeline(
     backend=None,
     far_noise_model=None,
     store=None,
+    presynthesized: dict | None = None,
 ) -> PipelineReport:
-    """Run vulnerability check, threshold synthesis and FAR study on ``problem``.
+    """Run vulnerability check, synthesis, relaxation and FAR study on ``problem``.
 
     Parameters
     ----------
@@ -183,9 +305,14 @@ def run_pipeline(
         The :class:`~repro.core.problem.SynthesisProblem` instance.
     synthesis:
         Declarative synthesis settings (defaults to all three algorithms on
-        the LP backend).
+        the LP backend).  When ``synthesis.relax`` is set, each synthesized
+        vector is relaxed through the shared session before FAR evaluation;
+        the report then carries both the raw and the relaxed thresholds.
     far:
         Declarative FAR settings; ``None`` (or ``count=0``) skips the study.
+        The study evaluates the *deployed* (relaxed when configured) vectors
+        under the algorithm names, plus the raw vectors under
+        ``"<algorithm>:raw"`` labels when a relax stage ran.
     backend:
         Optional backend *instance* overriding ``synthesis.backend`` — the
         programmatic escape hatch for pre-configured or caller-supplied
@@ -198,22 +325,33 @@ def run_pipeline(
         :class:`repro.explore.store.ResultStore`).  The call is keyed by the
         problem's content fingerprint plus both configs; a hit skips all
         solver work and returns a report rebuilt from disk (lossy: per-round
-        histories and attack witnesses are not persisted).  Caller-supplied
+        histories and attack witnesses are not persisted).  The synthesis
+        half (fingerprint + synthesis config only) is additionally stored
+        under its own key, so a call differing only in FAR settings reuses
+        the synthesis and recomputes just the study.  Caller-supplied
         ``backend`` / ``far_noise_model`` *instances* bypass the store —
         their configuration is not content-addressable.
+    presynthesized:
+        Optional per-algorithm :func:`synthesis_record` payloads.  Covered
+        algorithms skip synthesis and relaxation entirely (their outcome is
+        rebuilt from the record); when every algorithm is covered no solver
+        session is opened at all and only the FAR study / probe half runs.
     """
     if synthesis is None:
         synthesis = SynthesisConfig()
+    presynthesized = dict(presynthesized or {})
 
     store_key = None
+    synthesis_key = None
     if store is not None and backend is None and far_noise_model is None:
         from repro.explore.store import as_store, canonical_config_key, problem_fingerprint
 
         store = as_store(store)
+        fingerprint = problem_fingerprint(problem)
         store_key = canonical_config_key(
             {
                 "kind": "run_pipeline",
-                "problem": problem_fingerprint(problem),
+                "problem": fingerprint,
                 "synthesis": synthesis.to_dict(),
                 "far": None if far is None else far.to_dict(),
             }
@@ -221,30 +359,82 @@ def run_pipeline(
         cached = store.get(store_key)
         if cached is not None:
             return _report_from_payload(cached)
+        # Full miss: the synthesis half may still be stored (same problem and
+        # synthesis config under different FAR settings).  ``peek`` keeps the
+        # hit/miss counters honest — this is a partial reuse, not a row hit.
+        synthesis_key = canonical_config_key(
+            {
+                "kind": "run_pipeline.synthesis",
+                "problem": fingerprint,
+                "synthesis": synthesis.to_dict(),
+            }
+        )
+        stored_synthesis = store.peek(synthesis_key)
+        if stored_synthesis is not None:
+            for name in synthesis.algorithms:
+                entry = stored_synthesis["synthesis"].get(name)
+                if name not in presynthesized and entry is not None:
+                    presynthesized[name] = {
+                        "vulnerability": stored_synthesis["vulnerability"],
+                        "synthesis": entry,
+                        "relaxation": stored_synthesis.get("relaxation", {}).get(name),
+                    }
 
-    solver = backend if backend is not None else synthesis.build_backend()
+    fresh = [name for name in synthesis.algorithms if name not in presynthesized]
 
-    # One incremental session serves the vulnerability check and every
-    # algorithm: the encoding's static blocks are built once per call.
-    session = SynthesisSession(problem, backend=solver)
-    vulnerability = session.solve(None)
+    solver = None
+    session = None
+    if fresh or backend is not None:
+        solver = backend if backend is not None else synthesis.build_backend()
+        # One incremental session serves the vulnerability check, every
+        # algorithm and the relaxation stage: the encoding's static blocks
+        # are built once per call.
+        session = SynthesisSession(problem, backend=solver)
+
+    if session is not None:
+        vulnerability = session.solve(None)
+    else:
+        # Every algorithm is presynthesized: the stored vulnerability verdict
+        # rides along with each record (same problem, same backend).
+        first = presynthesized[synthesis.algorithms[0]]
+        vulnerability = _vulnerability_from_payload(first["vulnerability"])
     report = PipelineReport(vulnerability=vulnerability)
 
+    relaxer = synthesis.build_relaxer(backend=solver) if fresh else None
     for name in synthesis.algorithms:
+        record = presynthesized.get(name)
+        if record is not None:
+            report.synthesis[name] = _synthesis_from_payload(record["synthesis"])
+            relaxed = _relaxation_from_payload(record.get("relaxation"))
+            if relaxed is not None:
+                report.relaxation[name] = relaxed
+            continue
         synthesizer = synthesis.build_synthesizer(name, backend=solver)
         # Third-party synthesizers registered into SYNTHESIZERS may predate
         # the session protocol; only pass the shared session when accepted.
         if "session" in inspect.signature(synthesizer.synthesize).parameters:
-            report.synthesis[name] = synthesizer.synthesize(problem, session=session)
+            result = synthesizer.synthesize(problem, session=session)
         else:
-            report.synthesis[name] = synthesizer.synthesize(problem)
+            result = synthesizer.synthesize(problem)
+        report.synthesis[name] = result
+        if relaxer is not None and result.threshold is not None:
+            report.relaxation[name] = relaxer.relax(
+                problem,
+                result.threshold,
+                verify_input=synthesis.relax.verify_input,
+                session=session,
+            )
 
     if far is not None and far.count > 0 and report.synthesis:
-        detectors = {
-            name: result.threshold
-            for name, result in report.synthesis.items()
-            if result.threshold is not None
-        }
+        detectors = {}
+        for name in report.synthesis:
+            deployed = report.deployed_threshold(name)
+            if deployed is None:
+                continue
+            detectors[name] = deployed
+            raw = report.synthesis[name].threshold
+            if name in report.relaxation and raw is not None:
+                detectors[name + RAW_FAR_SUFFIX] = raw
         if detectors:
             evaluator = far.build_evaluator(problem, noise_model=far_noise_model)
             report.far_study = evaluator.evaluate(detectors)
@@ -253,8 +443,18 @@ def run_pipeline(
         # No flush: the JSONL log is durable per record and the index
         # sidecar is rebuilt on open; flushing here would rewrite the whole
         # index once per cached call.
-        store.put(store_key, {"kind": "run_pipeline", "problem": problem.name}, _report_payload(report))
+        payload = _report_payload(report)
+        store.put(store_key, {"kind": "run_pipeline", "problem": problem.name}, payload)
+        store.put(
+            synthesis_key,
+            {"kind": "run_pipeline.synthesis", "problem": problem.name},
+            {
+                "vulnerability": payload["vulnerability"],
+                "synthesis": payload["synthesis"],
+                "relaxation": payload["relaxation"],
+            },
+        )
     return report
 
 
-__all__ = ["PipelineReport", "run_pipeline"]
+__all__ = ["PipelineReport", "run_pipeline", "synthesis_record", "RAW_FAR_SUFFIX"]

@@ -21,9 +21,15 @@ Two extensions serve :mod:`repro.explore`:
   FAR settings, ...) execute through :meth:`BatchRunner.run_units`, which
   returns rows aligned with the input units;
 * a ``store=`` kwarg (path or :class:`repro.explore.store.ResultStore`)
-  content-addresses every unit by the canonical hash of its ``to_dict()``
-  payload: already-stored units are served from disk without any solver
-  work, fresh clean rows are appended the moment their group completes.
+  content-addresses every unit by the *pair* of keys
+  :func:`repro.explore.store.split_unit_keys` derives from its ``to_dict()``
+  payload — a synthesis key (problem + synthesizer + backend + synthesis
+  knobs + relax stage) and an evaluation key (FAR population + probe):
+  already-stored units are served from disk without any solver work, and a
+  unit whose synthesis half is stored (an already-synthesized point being
+  re-evaluated under different noise/FAR/probe settings) re-runs **only**
+  the evaluation half, with zero solver calls.  Fresh clean rows and
+  synthesis records are appended the moment their group completes.
   Rows carrying any failure — a cell error or a best-effort probe error —
   are never persisted, so transient failures re-run on the next attempt.
 """
@@ -38,7 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.config import ExperimentSpec, ExperimentUnit, FARConfig, SynthesisConfig, _checked_fields
-from repro.api.execute import run_pipeline
+from repro.api.execute import run_pipeline, synthesis_record
 from repro.registry import CASE_STUDIES
 from repro.utils.validation import ValidationError
 
@@ -213,6 +219,64 @@ def _stealth_margin(threshold) -> float | None:
     return float(np.mean(finite))
 
 
+def _probe_fleet(problem, probe: dict, detector, attack_options: dict) -> tuple:
+    """One probe fleet run: ``(detection_rate, mean_detection_latency)``."""
+    from repro.registry import ATTACK_TEMPLATES
+    from repro.runtime.engine import _default_noise_model
+    from repro.runtime.fleet import FleetSimulator, ScheduledAttack
+
+    attack_spec = dict(probe.get("attack") or {"template": "bias"})
+    template = ATTACK_TEMPLATES.create(
+        attack_spec.get("template", "bias"), **attack_options
+    )
+    attack = ScheduledAttack(template=template, start=int(attack_spec.get("start", 0)))
+    noise_model = _default_noise_model(problem, float(probe.get("noise_scale", 1.0)))
+    simulator = FleetSimulator(
+        problem.system,
+        int(probe.get("n_instances", 24)),
+        int(probe.get("horizon") or problem.horizon),
+        detectors={"probe": detector},
+        noise_model=noise_model,
+        attacks=[attack],
+        seed=probe.get("seed", 0),
+    )
+    stats = simulator.run().detectors["probe"]
+    latency = stats.mean_detection_latency
+    return stats.detection_rate, None if latency is None else float(latency)
+
+
+def rung_metric(name: str, multiplier: float) -> str:
+    """Metric key of one attack-ladder rung (``"<name>_x<multiplier>"``)."""
+    return f"{name}_x{multiplier:g}"
+
+
+def _ladder_aggregate(rungs: list[tuple[float, float | None, float | None]], horizon: int) -> dict:
+    """Fold per-rung ``(multiplier, rate, latency)`` probes into metrics.
+
+    A rung that attacked but detected nothing (``rate`` measured, ``latency``
+    ``None``) is *censored at the probe horizon* in the latency aggregate:
+    never detecting a weak attack must score worse than detecting it slowly,
+    otherwise the minimized latency objective would reward missing the
+    near-threshold rungs the ladder exists to resolve.  Rungs that attacked
+    nothing at all (``rate is None`` — a zero-magnitude bias from an all-zero
+    candidate) contribute to neither aggregate.
+    """
+    rates, latencies, metrics = [], [], {}
+    for multiplier, rate, latency in rungs:
+        if rate is not None:
+            rates.append(rate)
+            latencies.append(float(horizon) if latency is None else latency)
+        metrics[rung_metric("detection_rate", multiplier)] = rate
+        metrics[rung_metric("mean_detection_latency", multiplier)] = (
+            None if latency is None else round(latency, 4)
+        )
+    metrics["detection_rate"] = sum(rates) / len(rates) if rates else None
+    metrics["mean_detection_latency"] = (
+        round(sum(latencies) / len(latencies), 4) if latencies else None
+    )
+    return metrics
+
+
 def _run_probe(problem, probe: dict, threshold, scalar: float) -> dict:
     """Deploy one synthesized threshold online and measure detection latency.
 
@@ -221,6 +285,7 @@ def _run_probe(problem, probe: dict, threshold, scalar: float) -> dict:
         {"detector": "online-residue" | "online-cusum",
          "n_instances": int, "horizon": int | None, "noise_scale": float,
          "attack": {"template": name, "options": {...}, "start": int},
+         "biases": [float, ...] | absent,
          "seed": int}
 
     The synthesized threshold is deployed in the named online form and
@@ -230,22 +295,26 @@ def _run_probe(problem, probe: dict, threshold, scalar: float) -> dict:
     ``online-cusum`` is a *derived* heuristic — it accumulates residue
     excess over the candidate's mean finite threshold (``bias``) and alarms
     after one threshold-unit of cumulative excess, so candidates with very
-    different per-step profiles but equal means probe identically.  A
-    ``bias`` attack with no explicit magnitude defaults to ``3 x`` the
-    detector's own mean threshold, so every candidate is probed at a
-    strength proportional to its own detection boundary.
-    """
-    from repro.registry import ATTACK_TEMPLATES
-    from repro.runtime.engine import _default_noise_model
-    from repro.runtime.fleet import FleetSimulator, ScheduledAttack
+    different per-step profiles but equal means probe identically.
 
+    **Attack ladder.**  When ``biases`` is present (a ``bias``-template
+    probe with no explicit magnitude), the fleet is run once per rung with
+    the attack magnitude set to ``multiplier x`` the detector's own mean
+    threshold, and the metrics carry one ``detection_rate_x<m>`` /
+    ``mean_detection_latency_x<m>`` column per rung next to the aggregates
+    (rate = mean over rungs; latency = mean over rungs with a missed rung
+    censored at the probe horizon, so never detecting a weak attack scores
+    worse than detecting it slowly).  A near-threshold rung (1.1x) takes
+    many steps to detect where a blatant rung (3x) alarms almost
+    immediately, so the aggregate latency actually differentiates
+    candidates instead of collapsing to 0–1 steps everywhere.  Without
+    ``biases``, a single run is made; a ``bias`` attack with no explicit
+    magnitude then defaults to ``3 x`` the mean threshold, the historical
+    behaviour.
+    """
     attack_spec = dict(probe.get("attack") or {"template": "bias"})
     options = dict(attack_spec.get("options") or {})
     template_name = attack_spec.get("template", "bias")
-    if template_name == "bias" and "bias" not in options:
-        options["bias"] = 3.0 * scalar
-    template = ATTACK_TEMPLATES.create(template_name, **options)
-    attack = ScheduledAttack(template=template, start=int(attack_spec.get("start", 0)))
 
     detector_name = probe.get("detector", "online-residue")
     if detector_name in ("online-residue", "residue"):
@@ -260,27 +329,34 @@ def _run_probe(problem, probe: dict, threshold, scalar: float) -> dict:
             "synthesized threshold; supported: online-residue, online-cusum"
         )
 
-    noise_model = _default_noise_model(problem, float(probe.get("noise_scale", 1.0)))
+    biases = probe.get("biases")
+    if biases and template_name == "bias" and "bias" not in options:
+        rungs = []
+        for multiplier in biases:
+            multiplier = float(multiplier)
+            rung_options = dict(options, bias=multiplier * scalar)
+            rate, latency = _probe_fleet(problem, probe, detector, rung_options)
+            rungs.append((multiplier, rate, latency))
+        return _ladder_aggregate(rungs, int(probe.get("horizon") or problem.horizon))
 
-    simulator = FleetSimulator(
-        problem.system,
-        int(probe.get("n_instances", 24)),
-        int(probe.get("horizon") or problem.horizon),
-        detectors={"probe": detector},
-        noise_model=noise_model,
-        attacks=[attack],
-        seed=probe.get("seed", 0),
-    )
-    stats = simulator.run().detectors["probe"]
-    latency = stats.mean_detection_latency
+    if template_name == "bias" and "bias" not in options:
+        options["bias"] = 3.0 * scalar
+    rate, latency = _probe_fleet(problem, probe, detector, options)
     return {
-        "detection_rate": stats.detection_rate,
-        "mean_detection_latency": None if latency is None else round(float(latency), 4),
+        "detection_rate": rate,
+        "mean_detection_latency": None if latency is None else round(latency, 4),
     }
 
 
-def _execute_group(group: dict, case=None) -> list[dict]:
-    """Run one unit group, one row dict per algorithm (aligned with the list).
+def _execute_group(group: dict, case=None) -> dict:
+    """Run one unit group; rows and synthesis records aligned per algorithm.
+
+    Returns ``{"rows": [row dict per algorithm], "synthesis_records":
+    {algorithm: record}}`` — the records are the reusable synthesis-half
+    payloads (:func:`repro.api.execute.synthesis_record`) the store files
+    under synthesis keys.  ``group["presynthesized"]`` may carry such
+    records for a subset of the algorithms; those skip all solver work and
+    re-run only the FAR/probe evaluation half.
 
     Any failure — case-study build, synthesis, FAR — is recorded on every
     row of the group instead of aborting the sweep.  ``case`` may be a
@@ -304,21 +380,26 @@ def _execute_group(group: dict, case=None) -> list[dict]:
                 backend=group["backend"],
                 max_rounds=group["max_rounds"],
                 min_threshold=group["min_threshold"],
+                relax=group.get("relax"),
             ),
             far=FARConfig.from_dict(far) if isinstance(far, dict) else far,
+            presynthesized=group.get("presynthesized"),
         )
     except Exception as exc:  # noqa: BLE001 - one bad group must not kill the sweep
         error = f"{type(exc).__name__}: {exc}"
-        return [
-            ExperimentRow(
-                case_study=group["case_study"],
-                backend=group["backend"],
-                algorithm=algorithm,
-                status="error",
-                error=error,
-            ).to_dict()
-            for algorithm in algorithms
-        ]
+        return {
+            "rows": [
+                ExperimentRow(
+                    case_study=group["case_study"],
+                    backend=group["backend"],
+                    algorithm=algorithm,
+                    status="error",
+                    error=error,
+                ).to_dict()
+                for algorithm in algorithms
+            ],
+            "synthesis_records": {},
+        }
 
     rows = []
     for algorithm in algorithms:
@@ -335,18 +416,38 @@ def _execute_group(group: dict, case=None) -> list[dict]:
         )
         if report.far_study is not None:
             row.false_alarm_rate = report.far_study.rates.get(algorithm)
-        margin = _stealth_margin(result.threshold)
+        deployed = report.deployed_threshold(algorithm)
+        relaxed = report.relaxation.get(algorithm)
+        if relaxed is not None:
+            # Both vectors ride on the row: the deployed (relaxed) margin
+            # under the historical key, the raw one alongside.
+            raw_margin = _stealth_margin(result.threshold)
+            if raw_margin is not None:
+                row.metrics["stealth_margin_raw"] = raw_margin
+            row.metrics["relax_certified"] = relaxed.certified
+            if report.far_study is not None:
+                from repro.api.execute import RAW_FAR_SUFFIX
+
+                raw_rate = report.far_study.rates.get(algorithm + RAW_FAR_SUFFIX)
+                if raw_rate is not None:
+                    row.metrics["false_alarm_rate_raw"] = raw_rate
+        margin = _stealth_margin(deployed)
         if margin is not None:
             row.metrics["stealth_margin"] = margin
             if probe is not None:
                 try:
                     row.metrics.update(
-                        _run_probe(case.problem, probe, result.threshold, margin)
+                        _run_probe(case.problem, probe, deployed, margin)
                     )
                 except Exception as exc:  # noqa: BLE001 - probe is best-effort
                     row.metrics["probe_error"] = f"{type(exc).__name__}: {exc}"
         rows.append(row.to_dict())
-    return rows
+    return {
+        "rows": rows,
+        "synthesis_records": {
+            algorithm: synthesis_record(report, algorithm) for algorithm in algorithms
+        },
+    }
 
 
 class BatchRunner:
@@ -384,6 +485,8 @@ class BatchRunner:
         from repro.explore.store import as_store
 
         self.store = as_store(store)
+        #: Units whose synthesis half was served from the store (cumulative).
+        self.synthesis_reused = 0
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
@@ -402,58 +505,99 @@ class BatchRunner:
 
         Returns ``(key, row)`` pairs where ``key`` is the unit's content
         address (``None`` when no store is configured).  Stored units are
-        served without executing; fresh non-error rows are persisted.
+        served without executing; units whose *synthesis half* is stored
+        re-run only the FAR/probe evaluation (zero solver calls, counted in
+        :attr:`synthesis_reused`); fresh non-error rows and their synthesis
+        records are persisted.
         """
-        from repro.explore.store import canonical_config_key
+        from repro.explore.store import synthesis_store_key, unit_store_key
 
         keys: list[str | None] = []
         rows: dict[int, ExperimentRow] = {}
         pending: list[tuple[int, ExperimentUnit]] = []
+        presynthesized: list[dict | None] = []
         for index, unit in enumerate(units):
-            key = canonical_config_key(unit.to_dict()) if self.store is not None else None
+            key = unit_store_key(unit.to_dict()) if self.store is not None else None
             keys.append(key)
             cached = self.store.get(key) if self.store is not None else None
             if cached is not None:
                 rows[index] = ExperimentRow.from_dict(cached)
-            else:
-                pending.append((index, unit))
+                continue
+            record = None
+            if self.store is not None:
+                # ``peek``: a synthesis-half reuse is not a row hit, so it
+                # must not disturb the hit/miss counters callers report.
+                record = self.store.peek(synthesis_store_key(unit.to_dict()))
+                if record is not None:
+                    self.synthesis_reused += 1
+            pending.append((index, unit))
+            presynthesized.append(record)
 
-        def persist(local_index: int, row: ExperimentRow) -> None:
+        def persist(local_index: int, row: ExperimentRow, record: dict | None) -> None:
             # Called the moment a group finishes, so an interrupted batch
             # keeps every completed row — that is the store's resume story.
             # Rows with any failure (cell error or best-effort probe error)
             # are never persisted: the store is first-write-wins, so caching
-            # them would pin a transient failure forever.
+            # them would pin a transient failure forever.  Synthesis records
+            # only require the solver half to have succeeded, so they are
+            # persisted even when a best-effort probe failed.
             index, unit = pending[local_index]
             rows[index] = row
+            if self.store is None:
+                return
+            if record is not None and row.error is None:
+                config = unit.to_dict()
+                self.store.put(synthesis_store_key(config), config, record)
             clean = row.error is None and "probe_error" not in row.metrics
-            if self.store is not None and clean:
+            if clean:
                 self.store.put(keys[index], unit.to_dict(), row.to_dict())
 
-        self._execute_units([unit for _, unit in pending], on_result=persist)
+        self._execute_units(
+            [unit for _, unit in pending],
+            presynthesized=presynthesized,
+            on_result=persist,
+        )
         if self.store is not None:
             self.store.flush()
         return [(keys[index], rows[index]) for index in range(len(units))]
 
     # ------------------------------------------------------------------
-    def _execute_units(self, units: list[ExperimentUnit], on_result=None) -> list[ExperimentRow]:
-        """Execute heterogeneous units; ``on_result(i, row)`` streams per row.
+    def _execute_units(
+        self,
+        units: list[ExperimentUnit],
+        presynthesized: list[dict | None] | None = None,
+        on_result=None,
+    ) -> list[ExperimentRow]:
+        """Execute heterogeneous units; ``on_result(i, row, record)`` streams.
 
-        The callback fires as soon as a unit's group completes (serial: per
-        group; pool: as ``imap`` results arrive in order), not at batch end.
+        ``presynthesized`` (aligned with ``units``) carries stored
+        synthesis-half records; covered units skip all solver work.  The
+        callback fires as soon as a unit's group completes (serial: per
+        group; pool: as ``imap`` results arrive in order), not at batch end,
+        with the unit's fresh-or-reused synthesis record as third argument.
         """
         rows: list[ExperimentRow | None] = [None] * len(units)
         if not units:
             return rows
         grouped = _group_units(units)
+        if presynthesized is not None and any(presynthesized):
+            for payload, indices in grouped:
+                records = {
+                    units[index].algorithm: presynthesized[index]
+                    for index in indices
+                    if presynthesized[index] is not None
+                }
+                if records:
+                    payload["presynthesized"] = records
         payloads = [payload for payload, _ in grouped]
 
-        def deliver(indices: list[int], row_dicts: list[dict]) -> None:
-            for index, row_dict in zip(indices, row_dicts):
+        def deliver(indices: list[int], result: dict) -> None:
+            records = result.get("synthesis_records", {})
+            for index, row_dict in zip(indices, result["rows"]):
                 row = ExperimentRow.from_dict(row_dict)
                 rows[index] = row
                 if on_result is not None:
-                    on_result(index, row)
+                    on_result(index, row, records.get(row.algorithm))
 
         if self.workers >= 2 and len(payloads) > 1:
             try:
@@ -461,10 +605,10 @@ class BatchRunner:
             except ValueError:  # pragma: no cover - non-POSIX fallback
                 context = multiprocessing.get_context("spawn")
             with context.Pool(processes=min(self.workers, len(payloads))) as pool:
-                for (_, indices), row_dicts in zip(
+                for (_, indices), result in zip(
                     grouped, pool.imap(_execute_group, payloads)
                 ):
-                    deliver(indices, row_dicts)
+                    deliver(indices, result)
         else:
             # Case studies are built once per (name, options) payload; a
             # failing builder is cached as its exception so it is reported

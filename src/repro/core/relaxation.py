@@ -14,6 +14,20 @@ pointwise larger (hence lower-FAR) thresholds.  This implements the "FAR is
 minimised" half of the paper's problem statement more aggressively than the
 paper's own greedy loops and is used by the benchmark harness for the §IV
 false-alarm study.
+
+Certified raises alone cannot always un-saturate the false-alarm rate: on
+the VSC case study, un-floored stepwise synthesis pins a ~0 threshold at the
+horizon end, and the solver (correctly) rejects *every* raise there — an
+attack that violates the performance criterion with an arbitrarily small
+terminal residue exists, so FAR stays at 100 % no matter how the rest of
+the vector is relaxed.  The ``floor`` knob makes the paper's residual-risk
+trade explicit: before the greedy pass, every *set* threshold below
+``floor`` is lifted to ``floor`` **without** certification.  The lifted
+instants are reported in :attr:`RelaxationResult.floored_instants`, and
+``certified`` is ``False`` whenever the floored vector itself admits a
+stealthy attack — the formal no-stealthy-attack guarantee is knowingly
+traded for false-alarm rate at exactly those instants, which is the
+trade-off the paper's §IV FAR study quantifies.
 """
 
 from __future__ import annotations
@@ -26,14 +40,39 @@ from repro.core.problem import SynthesisProblem
 from repro.core.session import SynthesisSession
 from repro.detectors.threshold import ThresholdVector
 from repro.utils.results import SolveStatus, SynthesisRecord
+from repro.utils.validation import ValidationError
 
 
 @dataclass
 class RelaxationResult:
-    """Outcome of one relaxation pass."""
+    """Outcome of one relaxation pass.
+
+    Attributes
+    ----------
+    threshold:
+        The relaxed vector (pointwise >= the input everywhere).
+    raised_instants:
+        Instants whose greedy raise was solver-certified and kept.
+    floored_instants:
+        Instants lifted to the relaxer's ``floor`` *without* certification —
+        the explicitly accepted residual-risk instants (empty when no floor
+        was configured or nothing sat below it).
+    rounds:
+        Algorithm 1 certification calls issued.
+    certified:
+        True when the output vector is solver-certified to admit no stealthy
+        successful attack.  False when the input failed its safety
+        re-verification, or when the floored vector itself admits an attack
+        (every further raise would too, so the greedy pass is skipped).
+    history:
+        One :class:`~repro.utils.results.SynthesisRecord` per decision.
+    total_solver_time:
+        Wall-clock seconds spent inside certification calls.
+    """
 
     threshold: ThresholdVector
     raised_instants: list[int] = field(default_factory=list)
+    floored_instants: list[int] = field(default_factory=list)
     rounds: int = 0
     certified: bool = True
     history: list[SynthesisRecord] = field(default_factory=list)
@@ -55,12 +94,20 @@ class ThresholdRelaxer:
         so a monotonically decreasing input stays monotonically decreasing.
     raise_cap:
         Optional absolute ceiling on raised values (``None`` = no extra cap).
+    floor:
+        Optional uncertified lower bound applied *before* the greedy pass:
+        every set threshold below ``floor`` is lifted to it and recorded in
+        :attr:`RelaxationResult.floored_instants`.  This knowingly voids the
+        formal guarantee at those instants (see the module docstring) — it is
+        the paper's FAR-vs-residual-risk knob, applied as a cheap post-pass
+        instead of a full floored re-synthesis.
     """
 
     backend: str | object = "lp"
     time_budget_per_call: float | None = None
     preserve_monotonicity: bool = True
     raise_cap: float | None = None
+    floor: float | None = None
 
     def relax(
         self,
@@ -87,6 +134,14 @@ class ThresholdRelaxer:
             per instant makes relaxation the heaviest per-problem consumer of
             Algorithm 1 after the synthesis loops themselves).
         """
+        if (
+            self.floor is not None
+            and self.raise_cap is not None
+            and self.floor > self.raise_cap
+        ):
+            raise ValidationError(
+                f"floor ({self.floor}) must not exceed raise_cap ({self.raise_cap})"
+            )
         if session is None:
             session = SynthesisSession(problem, backend=self.backend)
         current = threshold.copy()
@@ -101,6 +156,41 @@ class ThresholdRelaxer:
             if check.status is not SolveStatus.UNSAT:
                 return RelaxationResult(
                     threshold=current,
+                    rounds=rounds,
+                    certified=False,
+                    history=history,
+                    total_solver_time=total_time,
+                )
+
+        floored: list[int] = []
+        if self.floor is not None:
+            for k in range(current.length):
+                if current.is_set(k) and current[k] < self.floor:
+                    current.set_value(k, float(self.floor))
+                    floored.append(k)
+        if floored:
+            # One check decides the whole pass: raising thresholds only
+            # enlarges the attacker's stealth-feasible set, so if the floored
+            # vector already admits a stealthy attack every greedy raise
+            # would be rejected too — return it uncertified immediately.
+            check = session.solve(current, time_budget=self.time_budget_per_call)
+            rounds += 1
+            total_time += check.elapsed
+            history.append(
+                SynthesisRecord(
+                    round_index=rounds,
+                    action=(
+                        f"floor {len(floored)} instant(s) at {self.floor:.6g}: "
+                        f"{'certified' if check.status is SolveStatus.UNSAT else 'uncertified'}"
+                    ),
+                    threshold=current.copy(),
+                    solver_time=check.elapsed,
+                )
+            )
+            if check.status is not SolveStatus.UNSAT:
+                return RelaxationResult(
+                    threshold=current,
+                    floored_instants=floored,
                     rounds=rounds,
                     certified=False,
                     history=history,
@@ -136,6 +226,7 @@ class ThresholdRelaxer:
         return RelaxationResult(
             threshold=current,
             raised_instants=raised,
+            floored_instants=floored,
             rounds=rounds,
             certified=True,
             history=history,

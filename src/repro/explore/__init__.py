@@ -1,10 +1,15 @@
 """Design-space exploration: Pareto fronts over the paper's trade-off axes.
 
 The subsystem turns the reproduction into the tool the paper implies: sweep
-detectors × horizons × noise scales × threshold floors × case studies,
-extract the (FAR, detection latency, stealth margin) Pareto surface, and
-never recompute a point twice thanks to a persistent content-addressed
-result store.
+detectors × horizons × noise scales × threshold floors × case studies
+(with an optional declarative ``relax=`` stage applied to every synthesized
+point), extract the (FAR, detection latency, stealth margin) Pareto surface
+— latency resolved by a probe attack ladder (1.1x/1.5x/3x of each
+candidate's own threshold) — and never recompute a point twice thanks to a
+persistent content-addressed result store whose keys split into a synthesis
+half and an evaluation half (noise/FAR/probe variations of a synthesized
+point re-run only the cheap evaluation).  Walkthrough:
+``docs/exploration.md``.
 
 Four layers::
 

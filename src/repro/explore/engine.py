@@ -13,9 +13,11 @@ Evaluation lowers each point into an
 batch layer already does: per-group sharing of the vulnerability check /
 incremental :class:`~repro.core.session.SynthesisSession` / FAR population,
 ``multiprocessing`` fan-out, per-row error capture, and content-addressed
-store hits that skip solver work entirely.  Points that differ only in
-``far_budget`` share one unit (and one store entry); the engine emits one
-row per point regardless.
+store reuse — full-row hits skip everything, and synthesis-key hits
+(points whose FAR/noise/probe settings changed but whose synthesis half is
+stored) re-run only the evaluation with zero solver calls.  Points that
+differ only in ``far_budget`` share one unit (and one store entry); the
+engine emits one row per point regardless.
 
 :class:`ExploreConfig` is the declarative, JSON-round-trippable form of an
 exploration (space + sampler + store + fan-out), and
@@ -271,6 +273,9 @@ class Explorer:
         if self.store is not None:
             stats["store_hits"] = self.store.hits - hits_before
             stats["store_misses"] = self.store.misses - misses_before
+            # Units that missed as full rows but found their synthesis half
+            # on disk: executed with zero solver calls (evaluation only).
+            stats["synthesis_reused"] = runner.synthesis_reused
             self.store.flush()
         return ExplorationReport(
             name=self.name,

@@ -20,7 +20,38 @@ import math
 
 from repro.explore.space import DEFAULT_OBJECTIVES
 
-__all__ = ["DEFAULT_OBJECTIVES", "objective_vector", "dominates", "pareto_front", "front_signature"]
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "RUNG_LATENCY_PREFIX",
+    "objective_vector",
+    "dominates",
+    "pareto_front",
+    "front_signature",
+    "rung_latency_fields",
+]
+
+#: Prefix of the per-rung latency columns the probe attack ladder produces
+#: (``mean_detection_latency_x1.1`` for the 1.1x-threshold rung, ...).
+RUNG_LATENCY_PREFIX = "mean_detection_latency_x"
+
+
+def rung_latency_fields(rows: list[dict]) -> tuple[str, ...]:
+    """Per-rung latency column names present in ``rows``, weakest rung first.
+
+    The probe attack ladder emits one ``mean_detection_latency_x<m>`` column
+    per bias multiplier ``m``; any of them can be handed to
+    :func:`pareto_front` / :func:`sensitivity` as an objective in place of
+    the rung-averaged ``mean_detection_latency`` aggregate.
+    """
+    found: dict[str, float] = {}
+    for row in rows:
+        for key in row:
+            if key.startswith(RUNG_LATENCY_PREFIX) and key not in found:
+                try:
+                    found[key] = float(key[len(RUNG_LATENCY_PREFIX):])
+                except ValueError:
+                    continue
+    return tuple(sorted(found, key=found.get))
 
 
 def objective_vector(row: dict, objectives=DEFAULT_OBJECTIVES) -> tuple[float, ...]:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.explore.pareto import front_signature, pareto_front, sensitivity
+from repro.explore.pareto import front_signature, pareto_front, rung_latency_fields, sensitivity
 from repro.explore.space import DEFAULT_OBJECTIVES, SearchSpace
 
 #: Stable row ordering: the coordinate columns in axis order.
@@ -85,17 +85,57 @@ class ExplorationReport:
         """Every row, in the stable coordinate sort order."""
         return sorted(self.rows, key=_row_sort_key)
 
-    def front(self) -> list[dict]:
-        """The non-dominated rows, in the stable coordinate sort order."""
-        return sorted(pareto_front(self.rows, self.objectives), key=_row_sort_key)
+    def front(self, objectives: tuple[str, ...] | None = None) -> list[dict]:
+        """The non-dominated rows, in the stable coordinate sort order.
 
-    def front_signature(self) -> set[tuple]:
+        ``objectives`` overrides the report's configured objectives — e.g. a
+        single per-rung latency column from :meth:`rung_latency_fields`.
+        """
+        return sorted(
+            pareto_front(self.rows, objectives or self.objectives), key=_row_sort_key
+        )
+
+    def front_signature(self, objectives: tuple[str, ...] | None = None) -> set[tuple]:
         """Objective vectors on the front (order/point-identity invariant)."""
-        return front_signature(self.rows, self.objectives)
+        return front_signature(self.rows, objectives or self.objectives)
 
-    def sensitivity(self, axis: str) -> dict:
+    def sensitivity(self, axis: str, objectives: tuple[str, ...] | None = None) -> dict:
         """Objective summaries grouped by one axis (see :func:`pareto.sensitivity`)."""
-        return sensitivity(self.rows, axis, self.objectives)
+        return sensitivity(self.rows, axis, objectives or self.objectives)
+
+    def rung_latency_fields(self) -> tuple[str, ...]:
+        """Per-rung latency columns of the probe attack ladder, weakest first.
+
+        One ``mean_detection_latency_x<multiplier>`` column per configured
+        ``probe_biases`` rung; each is a valid ``objectives`` entry for
+        :meth:`front` / :meth:`sensitivity`.
+        """
+        return rung_latency_fields(self.rows)
+
+    def latency_ladder(self) -> dict[str, dict]:
+        """Summary of every per-rung latency column over the feasible rows.
+
+        Returns ``{column: {"count", "mean", "min", "max"}}`` — how mean
+        detection latency degrades as the probe attack weakens toward the
+        detection boundary.
+        """
+        ladder: dict[str, dict] = {}
+        for column in self.rung_latency_fields():
+            measured = [
+                row[column]
+                for row in self.rows
+                if row.get("error") is None
+                and row.get("feasible", True)
+                and row.get(column) is not None
+            ]
+            if measured:
+                ladder[column] = {
+                    "count": len(measured),
+                    "mean": sum(measured) / len(measured),
+                    "min": min(measured),
+                    "max": max(measured),
+                }
+        return ladder
 
     def best(self, objective: str) -> dict | None:
         """The feasible row minimizing one objective (``None`` if unmeasured)."""
@@ -114,6 +154,102 @@ class ExplorationReport:
     def errors(self) -> list[dict]:
         """Rows that failed with an exception."""
         return [row for row in self.rows if row.get("error") is not None]
+
+    # ------------------------------------------------------------------
+    def plot_front(
+        self,
+        path: str | None = None,
+        *,
+        ax=None,
+        x: str = "stealth_margin",
+        y: str = "false_alarm_rate",
+        show_dominated: bool = True,
+    ):
+        """Paper-style trade-off scatter: the front over ``(x, y)``.
+
+        Defaults to the paper's headline axes — stealthy-attack margin
+        against false-alarm rate — with the non-dominated rows drawn as one
+        connected front over the dominated cloud.  Requires ``matplotlib``
+        (an optional dependency: ``pip install matplotlib``); everything
+        else in the library works without it.
+
+        Parameters
+        ----------
+        path:
+            When given, the figure is saved there (format from the
+            extension) — the headless/CI-friendly mode.
+        ax:
+            Existing matplotlib ``Axes`` to draw into; when ``None`` a new
+            figure is created.
+        x / y:
+            Row fields to plot (any objective or metric column, e.g. a
+            per-rung latency field from :meth:`rung_latency_fields`).
+        show_dominated:
+            Also draw the dominated feasible rows (muted, behind the front).
+
+        Returns
+        -------
+        matplotlib.axes.Axes
+            The axes drawn into.
+        """
+        try:
+            import matplotlib.pyplot as plt
+        except ImportError as exc:  # pragma: no cover - exercised via message test
+            raise ImportError(
+                "ExplorationReport.plot_front requires matplotlib, which is an "
+                "optional dependency of this library; install it with "
+                "'pip install matplotlib' (or the dev extras: pip install -e .[dev])"
+            ) from exc
+
+        def measured(rows: list[dict]) -> list[dict]:
+            return [
+                row
+                for row in rows
+                if row.get("error") is None
+                and row.get("feasible", True)
+                and row.get(x) is not None
+                and row.get(y) is not None
+            ]
+
+        front_rows = measured(self.front())
+        front_keys = {id(row) for row in front_rows}
+        dominated = [row for row in measured(self.rows) if id(row) not in front_keys]
+
+        created_figure = ax is None
+        if created_figure:
+            _, ax = plt.subplots(figsize=(6.4, 4.2))
+
+        # Any FAR-family column (false_alarm_rate, false_alarm_rate_raw, ...)
+        # renders as percent so raw-vs-relaxed plots stay comparable.
+        as_percent = y.startswith("false_alarm_rate")
+        scale = 100.0 if as_percent else 1.0
+        if show_dominated and dominated:
+            ax.scatter(
+                [row[x] for row in dominated],
+                [scale * row[y] for row in dominated],
+                s=22,
+                color="0.78",
+                label="dominated",
+                zorder=2,
+            )
+        if front_rows:
+            ordered = sorted(front_rows, key=lambda row: (row[x], row[y]))
+            xs = [row[x] for row in ordered]
+            ys = [scale * row[y] for row in ordered]
+            ax.plot(xs, ys, color="#2a6f97", linewidth=1.4, alpha=0.9, zorder=3)
+            ax.scatter(xs, ys, s=34, color="#2a6f97", label="Pareto front", zorder=4)
+
+        ax.set_xlabel(x.replace("_", " "))
+        ax.set_ylabel(y.replace("_", " ") + (" [%]" if as_percent else ""))
+        ax.set_title(self.name)
+        ax.grid(True, linewidth=0.4, alpha=0.35)
+        if dominated or front_rows:
+            ax.legend(frameon=False, fontsize=9)
+        if path is not None:
+            ax.figure.savefig(path, dpi=150, bbox_inches="tight")
+            if created_figure:
+                plt.close(ax.figure)
+        return ax
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

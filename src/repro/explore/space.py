@@ -33,7 +33,7 @@ import itertools
 import json
 from dataclasses import dataclass, field
 
-from repro.api.config import ExperimentUnit, FARConfig, _checked_fields
+from repro.api.config import ExperimentUnit, FARConfig, RelaxConfig, _checked_fields
 from repro.registry import (
     ATTACK_TEMPLATES,
     BACKENDS,
@@ -119,6 +119,13 @@ class SearchSpace:
     ----------------------------------------------------------------------
     max_rounds:
         Safety cap on synthesis rounds per point.
+    relax:
+        Optional declarative relaxation stage applied to every synthesized
+        point before FAR evaluation and probing: a
+        :class:`~repro.api.config.RelaxConfig` (or its dict form, or
+        ``True`` for the defaults).  Part of each unit's *synthesis* key —
+        relaxation issues solver calls, so its outcome is cached and reused
+        alongside the raw synthesis.
     far_count / far_seed / filter_pfc / filter_mdc:
         The Monte-Carlo FAR population (``far_count=0`` disables FAR).
     probe_instances:
@@ -127,7 +134,15 @@ class SearchSpace:
         Probe fleet horizon (``None`` = the problem's horizon).
     probe_attack / probe_attack_options / probe_attack_start:
         The scheduled attack the probe injects.  A ``bias`` template with no
-        explicit magnitude scales to 3x each candidate's mean threshold.
+        explicit magnitude is scaled per candidate (see ``probe_biases``).
+    probe_biases:
+        The attack ladder: for a ``bias`` probe with no explicit magnitude,
+        the fleet is probed once per rung at ``multiplier x`` the
+        candidate's mean threshold, yielding per-rung
+        ``mean_detection_latency_x<m>`` columns plus rung-averaged
+        aggregates — near-threshold rungs make the latency objective
+        actually vary across the front.  An empty tuple restores the single
+        3x probe.
     probe_seed:
         Seed of the probe fleet's noise streams.
     """
@@ -141,6 +156,7 @@ class SearchSpace:
     min_thresholds: tuple[float, ...] = (0.0,)
     far_budgets: tuple[float, ...] = (1.0,)
     max_rounds: int = 150
+    relax: RelaxConfig | None = None
     far_count: int = 100
     far_seed: int = 0
     filter_pfc: bool = False
@@ -150,6 +166,7 @@ class SearchSpace:
     probe_attack: str = "bias"
     probe_attack_options: dict = field(default_factory=dict)
     probe_attack_start: int = 2
+    probe_biases: tuple[float, ...] = (1.1, 1.5, 3.0)
     probe_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -195,6 +212,15 @@ class SearchSpace:
                 f"unknown probe attack template {self.probe_attack!r}; "
                 f"available: {', '.join(ATTACK_TEMPLATES.available())}"
             )
+        if self.relax is True:
+            self.relax = RelaxConfig()
+        elif self.relax is False:
+            self.relax = None
+        elif isinstance(self.relax, dict):
+            self.relax = RelaxConfig.from_dict(self.relax)
+        self.probe_biases = tuple(sorted({float(b) for b in self.probe_biases}))
+        if any(b <= 0 for b in self.probe_biases):
+            raise ValidationError("probe_biases must be positive multipliers")
 
     # ------------------------------------------------------------------
     def axes(self) -> dict[str, tuple]:
@@ -260,6 +286,15 @@ class SearchSpace:
                 },
                 "seed": self.probe_seed,
             }
+            # The attack ladder only applies to auto-scaled bias probes; for
+            # any other template the biases would not change the computation
+            # and therefore must stay out of the content address.
+            if (
+                self.probe_biases
+                and self.probe_attack == "bias"
+                and "bias" not in self.probe_attack_options
+            ):
+                probe["biases"] = list(self.probe_biases)
         return ExperimentUnit(
             case_study=point.case_study,
             backend=point.backend,
@@ -267,6 +302,7 @@ class SearchSpace:
             case_study_options=options,
             max_rounds=self.max_rounds,
             min_threshold=point.min_threshold,
+            relax=self.relax,
             far=far,
             probe=probe,
         )
@@ -284,6 +320,7 @@ class SearchSpace:
             "min_thresholds": list(self.min_thresholds),
             "far_budgets": list(self.far_budgets),
             "max_rounds": self.max_rounds,
+            "relax": None if self.relax is None else self.relax.to_dict(),
             "far_count": self.far_count,
             "far_seed": self.far_seed,
             "filter_pfc": self.filter_pfc,
@@ -293,6 +330,7 @@ class SearchSpace:
             "probe_attack": self.probe_attack,
             "probe_attack_options": dict(self.probe_attack_options),
             "probe_attack_start": self.probe_attack_start,
+            "probe_biases": list(self.probe_biases),
             "probe_seed": self.probe_seed,
         }
 

@@ -35,6 +35,28 @@ synthesis knobs, FAR population, probe settings) must therefore be *in* the
 config; anything that does not (e.g. a Pareto feasibility budget) must stay
 out, so equal computations share one entry.
 
+Synthesis / evaluation key split
+--------------------------------
+An experiment unit's content address is the *pair* of two SHA-256 halves
+(:func:`split_unit_keys`):
+
+* the **synthesis key** hashes the fields that determine the solver work —
+  problem (case study + options, horizon), synthesizer, backend, synthesis
+  knobs (``max_rounds``, ``min_threshold``) and the relax stage;
+* the **evaluation key** hashes the fields that only post-process the
+  synthesized detector — the FAR population (count/seed/noise scale/...)
+  and the online probe settings.
+
+The full row is stored under ``"<synthesis>:<evaluation>"``
+(:func:`unit_store_key`), and the reusable synthesis outcome additionally
+under ``"synthesis:<synthesis>"`` (:func:`synthesis_store_key`).  Units
+that differ only in their evaluation half — e.g. the same point re-explored
+across noise scales or FAR budgets — therefore find their synthesis record
+on disk and re-run only the cheap evaluation, with zero solver calls.
+Every :class:`~repro.api.config.ExperimentUnit` field must be classified
+into exactly one half; an unclassified field raises, so a future field
+cannot silently corrupt the cache.
+
 The first write for a key wins: a ``put`` for an existing key is a no-op,
 which keeps rows served from the store bit-identical to the first fresh
 computation for the lifetime of the store.
@@ -73,6 +95,56 @@ def canonical_config_key(config: dict) -> str:
             f"config is not canonicalizable for content addressing: {exc}"
         ) from exc
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+#: :class:`~repro.api.config.ExperimentUnit` fields whose values change the
+#: solver work (the synthesis half of the content address).
+SYNTHESIS_KEY_FIELDS = (
+    "case_study",
+    "case_study_options",
+    "backend",
+    "algorithm",
+    "max_rounds",
+    "min_threshold",
+    "relax",
+)
+
+#: Unit fields that only post-process an already-synthesized detector (the
+#: evaluation half of the content address).
+EVALUATION_KEY_FIELDS = ("far", "probe")
+
+
+def split_unit_keys(config: dict) -> tuple[str, str]:
+    """The ``(synthesis_key, evaluation_key)`` halves of a unit config.
+
+    ``config`` is an :class:`~repro.api.config.ExperimentUnit` ``to_dict()``
+    payload.  Fields belonging to neither half raise
+    :class:`ValidationError`: a new unit field must be explicitly classified
+    as changing the synthesis or only the evaluation before it can be
+    content-addressed, otherwise value-distinct computations could silently
+    share a cache entry.
+    """
+    unknown = set(config) - set(SYNTHESIS_KEY_FIELDS) - set(EVALUATION_KEY_FIELDS)
+    if unknown:
+        raise ValidationError(
+            f"unit config fields {sorted(unknown)} are not classified as "
+            "synthesis or evaluation fields; add them to "
+            "SYNTHESIS_KEY_FIELDS or EVALUATION_KEY_FIELDS in repro.explore.store"
+        )
+    synthesis = canonical_config_key({k: config.get(k) for k in SYNTHESIS_KEY_FIELDS})
+    evaluation = canonical_config_key({k: config.get(k) for k in EVALUATION_KEY_FIELDS})
+    return synthesis, evaluation
+
+
+def unit_store_key(config: dict) -> str:
+    """Full content address of a unit: ``"<synthesis_key>:<evaluation_key>"``."""
+    synthesis, evaluation = split_unit_keys(config)
+    return f"{synthesis}:{evaluation}"
+
+
+def synthesis_store_key(config: dict) -> str:
+    """Store key of a unit's reusable synthesis record: ``"synthesis:<key>"``."""
+    return "synthesis:" + split_unit_keys(config)[0]
 
 
 def _float_token(value: float):
@@ -288,12 +360,22 @@ class ResultStore:
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict | None:
         """The stored row for ``key`` (a copy), or ``None`` on a miss."""
-        row = self._rows.get(key)
+        row = self.peek(key)
         if row is None:
             self.misses += 1
-            return None
-        self.hits += 1
-        return json.loads(json.dumps(row))
+        else:
+            self.hits += 1
+        return row
+
+    def peek(self, key: str) -> dict | None:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        Used for cache-*adjacent* lookups (the synthesis-half records behind
+        :func:`synthesis_store_key`) whose outcome must not distort the
+        row-level cache-effectiveness statistics callers report.
+        """
+        row = self._rows.get(key)
+        return None if row is None else json.loads(json.dumps(row))
 
     def put(self, key: str, config: dict, row: dict) -> bool:
         """Append one record; returns False (no-op) when ``key`` exists."""

@@ -155,12 +155,16 @@ def run_fleet(
         bank[label] = obj
 
     if config.synthesis is not None:
-        solver = config.synthesis.build_backend()
+        # One run_pipeline call (FAR skipped) shares a single incremental
+        # SynthesisSession across every algorithm and the optional relax
+        # stage; the deployed vector is the relaxed one when configured.
+        from repro.api.execute import run_pipeline
+
+        pipeline = run_pipeline(problem, synthesis=config.synthesis)
         for algorithm in config.synthesis.algorithms:
-            synthesizer = config.synthesis.build_synthesizer(algorithm, backend=solver)
-            result = synthesizer.synthesize(problem)
-            if result.threshold is not None:
-                deploy(algorithm, result.threshold, "synthesis")
+            threshold = pipeline.deployed_threshold(algorithm)
+            if threshold is not None:
+                deploy(algorithm, threshold, "synthesis")
     for label, value in config.static_thresholds.items():
         deploy(str(label), problem.static_threshold(float(value)), "static_thresholds")
     for label, spec in config.detectors.items():

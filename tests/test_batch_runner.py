@@ -196,6 +196,27 @@ class TestResultTable:
         assert row.metrics == {}
 
 
+class TestLadderAggregate:
+    def test_missed_rung_is_censored_at_probe_horizon(self):
+        """Never detecting a weak attack must score worse than detecting it slowly."""
+        from repro.api.runner import _ladder_aggregate
+
+        slow = _ladder_aggregate([(1.1, 1.0, 12.0), (1.5, 1.0, 4.0), (3.0, 1.0, 1.0)], 20)
+        blind = _ladder_aggregate([(1.1, 0.0, None), (1.5, 1.0, 4.0), (3.0, 1.0, 1.0)], 20)
+        # The blind candidate's missed rung counts as the 20-step horizon:
+        # (20+4+1)/3 > (12+4+1)/3, so it cannot dominate the slow detector.
+        assert blind["mean_detection_latency"] > slow["mean_detection_latency"]
+        assert blind["mean_detection_latency_x1.1"] is None   # per-rung stays honest
+        assert blind["detection_rate"] == pytest.approx(2 / 3)
+
+    def test_unattacked_rungs_contribute_to_neither_aggregate(self):
+        from repro.api.runner import _ladder_aggregate
+
+        metrics = _ladder_aggregate([(1.1, None, None), (3.0, None, None)], 20)
+        assert metrics["detection_rate"] is None
+        assert metrics["mean_detection_latency"] is None
+
+
 class TestStoreIntegration:
     def test_store_serves_second_run_without_execution(self, tmp_path):
         spec = ExperimentSpec(
@@ -211,7 +232,8 @@ class TestStoreIntegration:
 
         store = ResultStore(tmp_path / "s")
         first = run_experiments(spec, store=store)
-        assert store.misses == 2 and len(store) == 2
+        # 2 row entries + 2 reusable synthesis records.
+        assert store.misses == 2 and len(store) == 4
         second = run_experiments(spec, store=store)
         assert store.hits == 2
         assert second.summary_rows() == first.summary_rows()
@@ -231,7 +253,13 @@ class TestStoreIntegration:
         ((key, row),) = BatchRunner(store=store).run_units([unit])
         assert row.error is None
         assert "probe_error" in row.metrics
-        assert len(store) == 0 and key not in store
+        # The crippled row is never pinned; the synthesis half (which the
+        # probe failure does not invalidate) is kept for reuse.
+        assert key not in store
+        from repro.explore.store import synthesis_store_key
+
+        assert synthesis_store_key(unit.to_dict()) in store
+        assert len(store) == 1
 
     def test_error_rows_are_not_persisted(self, tmp_path):
         @CASE_STUDIES.register("test-store-broken")

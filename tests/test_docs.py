@@ -1,0 +1,107 @@
+"""Documentation gates: docstring presence and markdown link integrity.
+
+Mirrors the CI docs job locally (which runs ruff's pydocstyle D100/D101
+rules and this file): every module and class in the documented subsystems
+(``repro.explore``, ``repro.runtime``) carries a docstring, the headline
+classes of this PR document their semantics, and every relative link and
+anchor in ``README.md`` / ``docs/*.md`` resolves.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+#: Packages whose modules and classes are documentation-gated.
+DOCUMENTED_PACKAGES = ("explore", "runtime")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
+
+
+def _documented_modules() -> list[Path]:
+    files = []
+    for package in DOCUMENTED_PACKAGES:
+        files.extend(sorted((SRC / package).glob("*.py")))
+    assert files, "documented packages not found"
+    return files
+
+
+def _doc_pages() -> list[Path]:
+    pages = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    assert len(pages) >= 3, "expected README.md plus the docs/ suite"
+    return pages
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(page: Path) -> set[str]:
+    anchors = set()
+    in_fence = False
+    for line in page.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        elif not in_fence and line.startswith("#"):
+            anchors.add(_github_slug(line.lstrip("#")))
+    return anchors
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("path", _documented_modules(), ids=lambda p: p.stem)
+    def test_every_module_has_a_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.relative_to(REPO_ROOT)} lacks a module docstring"
+
+    @pytest.mark.parametrize("path", _documented_modules(), ids=lambda p: p.stem)
+    def test_every_class_has_a_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        undocumented = [
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef) and not ast.get_docstring(node)
+        ]
+        assert not undocumented, (
+            f"{path.relative_to(REPO_ROOT)} has undocumented classes: {undocumented}"
+        )
+
+    def test_headline_classes_document_their_semantics(self):
+        from repro.api.config import RelaxConfig
+        from repro.core.session import SynthesisSession
+        from repro.explore import store
+
+        assert "floor" in RelaxConfig.__doc__ and "residual-risk" in RelaxConfig.__doc__
+        assert "once" in SynthesisSession.__doc__       # one encoding per problem
+        # The store module documents its key derivation, split included.
+        assert "synthesis key" in store.__doc__ and "evaluation key" in store.__doc__
+        assert store.ResultStore.__doc__
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize("page", _doc_pages(), ids=lambda p: p.name)
+    def test_relative_links_and_anchors_resolve(self, page):
+        broken = []
+        for target in _LINK.findall(page.read_text()):
+            if _EXTERNAL.match(target):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = page if not path_part else (page.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(target)
+                continue
+            if anchor and resolved.suffix == ".md" and anchor not in _anchors(resolved):
+                broken.append(target)
+        assert not broken, f"{page.name} has broken links/anchors: {broken}"
+
+    def test_readme_links_into_the_docs_suite(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in readme
+        assert "docs/exploration.md" in readme

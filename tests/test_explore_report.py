@@ -1,0 +1,116 @@
+"""Tests for the exploration report: rung latency columns and plotting.
+
+The rows here are hand-built (no synthesis), so the tests exercise exactly
+the reporting layer: per-rung latency columns from the probe attack ladder,
+objective overrides on front extraction, and the matplotlib-optional
+``plot_front`` helper (exercised headless under the Agg backend when
+matplotlib is installed, and for its error message when it is not).
+"""
+
+import importlib.util
+
+import pytest
+
+from repro.explore.pareto import RUNG_LATENCY_PREFIX, rung_latency_fields
+from repro.explore.report import ExplorationReport
+
+HAVE_MATPLOTLIB = importlib.util.find_spec("matplotlib") is not None
+
+
+def _row(floor, far, margin, latency, *, rungs=None, feasible=True, **extra) -> dict:
+    row = {
+        "case_study": "vsc",
+        "synthesizer": "stepwise",
+        "backend": "lp",
+        "detector": "online-residue",
+        "horizon": None,
+        "noise_scale": 1.0,
+        "min_threshold": floor,
+        "far_budget": 1.0,
+        "status": "unsat",
+        "error": None,
+        "feasible": feasible,
+        "false_alarm_rate": far,
+        "stealth_margin": margin,
+        "mean_detection_latency": latency,
+    }
+    for multiplier, value in (rungs or {}).items():
+        row[f"{RUNG_LATENCY_PREFIX}{multiplier:g}"] = value
+        row[f"detection_rate_x{multiplier:g}"] = None if value is None else 1.0
+    row.update(extra)
+    return row
+
+
+@pytest.fixture()
+def ladder_report() -> ExplorationReport:
+    rows = [
+        _row(0.5, 0.60, 2.0, 2.0, rungs={1.1: 5.0, 1.5: 1.0, 3.0: 0.0}),
+        _row(1.0, 0.30, 3.0, 3.0, rungs={1.1: 8.0, 1.5: 1.0, 3.0: 0.0}),
+        _row(2.0, 0.10, 4.0, 4.0, rungs={1.1: 11.0, 1.5: 1.0, 3.0: 0.0}),
+        _row(4.0, 0.10, 6.0, 6.0, rungs={1.1: None, 1.5: 2.0, 3.0: 0.0}),
+    ]
+    return ExplorationReport(name="ladder", rows=rows)
+
+
+class TestRungColumns:
+    def test_fields_sorted_weakest_rung_first(self, ladder_report):
+        fields = ladder_report.rung_latency_fields()
+        assert fields == (
+            "mean_detection_latency_x1.1",
+            "mean_detection_latency_x1.5",
+            "mean_detection_latency_x3",
+        )
+        assert rung_latency_fields(ladder_report.rows) == fields
+
+    def test_no_ladder_no_fields(self):
+        report = ExplorationReport(rows=[_row(0.5, 0.1, 1.0, 0.0)])
+        assert report.rung_latency_fields() == ()
+        assert report.latency_ladder() == {}
+
+    def test_latency_ladder_summarises_per_rung(self, ladder_report):
+        ladder = ladder_report.latency_ladder()
+        weakest = ladder["mean_detection_latency_x1.1"]
+        assert weakest["count"] == 3               # one rung measured nothing
+        assert weakest["min"] == 5.0 and weakest["max"] == 11.0
+        strongest = ladder["mean_detection_latency_x3"]
+        assert strongest["mean"] == 0.0
+
+    def test_rung_field_as_front_objective(self, ladder_report):
+        # Over (FAR, weakest-rung latency) the slow-but-tight corner points
+        # trade off; the default aggregate objectives are overridable.
+        objectives = ("false_alarm_rate", "mean_detection_latency_x1.1")
+        front = ladder_report.front(objectives=objectives)
+        floors = {row["min_threshold"] for row in front}
+        assert 0.5 in floors                       # lowest latency at weakest rung
+        assert ladder_report.front_signature(objectives=objectives) != (
+            ladder_report.front_signature()
+        )
+
+
+class TestPlotFront:
+    @pytest.mark.skipif(not HAVE_MATPLOTLIB, reason="matplotlib not installed")
+    def test_plot_front_headless(self, ladder_report, tmp_path):
+        import matplotlib
+
+        matplotlib.use("Agg")
+        target = tmp_path / "front.png"
+        ax = ladder_report.plot_front(str(target))
+        assert target.exists() and target.stat().st_size > 0
+        assert ax.get_xlabel() == "stealth margin"
+        assert "%" in ax.get_ylabel()
+
+    @pytest.mark.skipif(not HAVE_MATPLOTLIB, reason="matplotlib not installed")
+    def test_plot_front_into_existing_axes(self, ladder_report):
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        _, ax = plt.subplots()
+        assert ladder_report.plot_front(ax=ax) is ax
+        plt.close(ax.figure)
+
+    @pytest.mark.skipif(HAVE_MATPLOTLIB, reason="matplotlib is installed")
+    def test_missing_matplotlib_raises_actionable_error(self, ladder_report):
+        with pytest.raises(ImportError, match="pip install matplotlib"):
+            ladder_report.plot_front()
