@@ -50,6 +50,10 @@ Subpackages
     The streaming fleet-monitoring engine: online detector wrappers,
     the vectorized ``FleetSimulator`` with scheduled attacks, alarm-event
     sinks, and the ``run_fleet`` deployment entry point.
+``repro.serve``
+    Always-on fleet serving: the ``MonitorService`` with ring-buffer ingest,
+    dynamic attach/detach, atomic threshold hot-swap, back-pressure-aware
+    sinks, and a replayable service event log (``run_service``, ``replay``).
 ``repro.explore``
     Design-space exploration: declarative ``SearchSpace`` axes, grid and
     adaptive-bisection samplers, a persistent content-addressed
@@ -81,10 +85,12 @@ from repro.api import (
     ExperimentSpec,
     ExperimentUnit,
     RuntimeConfig,
+    ServiceConfig,
     ExploreConfig,
     PipelineReport,
     run_pipeline,
     run_fleet,
+    run_service,
     run_exploration,
     BatchRunner,
     ExperimentResult,
@@ -101,6 +107,14 @@ from repro.explore import (
     ResultStore,
     SearchSpace,
     pareto_front,
+)
+from repro.serve import (
+    BufferedSink,
+    MonitorService,
+    ReplayResult,
+    ServiceEvent,
+    ServiceLog,
+    replay,
 )
 from repro.runtime import (
     AlarmEvent,
@@ -202,6 +216,15 @@ __all__ = [
     "OnlineMonitor",
     "batch_simulate",
     "make_online",
+    # always-on serving
+    "ServiceConfig",
+    "run_service",
+    "MonitorService",
+    "BufferedSink",
+    "ServiceEvent",
+    "ServiceLog",
+    "ReplayResult",
+    "replay",
     # registries
     "Registry",
     "RegistryError",

@@ -15,6 +15,10 @@ at any scale:
   :func:`~repro.runtime.engine.run_fleet` — deploy the synthesized detectors
   online on a vectorized fleet of monitored plant instances under scheduled
   attacks (see :mod:`repro.runtime`);
+* :class:`~repro.api.config.ServiceConfig` +
+  :func:`~repro.serve.engine.run_service` — run the detectors as an
+  always-on streaming service with dynamic membership, threshold hot-swap
+  and a replayable event log (see :mod:`repro.serve`);
 * :class:`~repro.explore.engine.ExploreConfig` +
   :func:`~repro.explore.engine.run_exploration` — sweep whole design spaces
   (thresholds × noise × horizons × ...) into Pareto fronts, backed by a
@@ -30,6 +34,7 @@ from repro.api.config import (
     FARConfig,
     RelaxConfig,
     RuntimeConfig,
+    ServiceConfig,
     SynthesisConfig,
 )
 from repro.api.execute import PipelineReport, run_pipeline, synthesis_record
@@ -41,6 +46,7 @@ from repro.api.runner import (
     run_experiments,
 )
 from repro.runtime.engine import run_fleet
+from repro.serve.engine import run_service
 
 # Imported last: repro.explore builds on the config/execute/runner modules
 # above (it may only import those submodules, never this package).
@@ -53,11 +59,13 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentUnit",
     "RuntimeConfig",
+    "ServiceConfig",
     "ExploreConfig",
     "PipelineReport",
     "run_pipeline",
     "synthesis_record",
     "run_fleet",
+    "run_service",
     "run_exploration",
     "BatchRunner",
     "ExperimentResult",

@@ -384,6 +384,38 @@ class FARConfig:
 _ATTACK_SCHEDULE_KEYS = {"template", "options", "instances", "fraction", "start", "label"}
 
 
+def _normalize_detector_specs(detectors: dict) -> dict:
+    """Validate ``label -> {"name", "options"}`` detector entries against the registry.
+
+    Shared by :class:`RuntimeConfig` and :class:`ServiceConfig`.  A bare name
+    string is accepted as shorthand for ``{"name": name}``; unknown entry
+    keys and unregistered detector names are rejected.
+    """
+    normalized = {}
+    for label, spec in detectors.items():
+        if isinstance(spec, str):
+            spec = {"name": spec}
+        unknown = set(spec) - {"name", "options"}
+        if unknown:
+            raise ValidationError(
+                f"unknown detector entry keys {sorted(unknown)} for {label!r}; "
+                "expected 'name' and optional 'options'"
+            )
+        if "name" not in spec:
+            raise ValidationError(
+                f"detector entry {label!r} needs a 'name' (one of: "
+                f"{', '.join(DETECTORS.available())})"
+            )
+        name = str(spec["name"])
+        if name not in DETECTORS:
+            raise ValidationError(
+                f"unknown detector {name!r}; "
+                f"available: {', '.join(DETECTORS.available())}"
+            )
+        normalized[str(label)] = {"name": name, "options": dict(spec.get("options", {}))}
+    return normalized
+
+
 @dataclass
 class RuntimeConfig:
     """Declarative description of one fleet-monitoring run (``run_fleet``).
@@ -470,29 +502,7 @@ class RuntimeConfig:
         self.static_thresholds = {
             str(label): float(value) for label, value in self.static_thresholds.items()
         }
-        detectors = {}
-        for label, spec in self.detectors.items():
-            if isinstance(spec, str):
-                spec = {"name": spec}
-            unknown = set(spec) - {"name", "options"}
-            if unknown:
-                raise ValidationError(
-                    f"unknown detector entry keys {sorted(unknown)} for {label!r}; "
-                    "expected 'name' and optional 'options'"
-                )
-            if "name" not in spec:
-                raise ValidationError(
-                    f"detector entry {label!r} needs a 'name' (one of: "
-                    f"{', '.join(DETECTORS.available())})"
-                )
-            name = str(spec["name"])
-            if name not in DETECTORS:
-                raise ValidationError(
-                    f"unknown detector {name!r}; "
-                    f"available: {', '.join(DETECTORS.available())}"
-                )
-            detectors[str(label)] = {"name": name, "options": dict(spec.get("options", {}))}
-        self.detectors = detectors
+        self.detectors = _normalize_detector_specs(self.detectors)
         if self.noise_model is not None:
             self.noise_model = str(self.noise_model)
             if self.noise_model not in NOISE_MODELS:
@@ -569,6 +579,156 @@ class RuntimeConfig:
 
     @classmethod
     def from_json(cls, text: str) -> "RuntimeConfig":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+_RING_OVERFLOW_POLICIES = ("drop-oldest", "drop-newest", "error")
+_RESIDUE_SOURCES = ("observer", "ingest")
+_SINK_POLICIES = ("block", "drop-oldest", "drop-newest")
+
+
+@dataclass
+class ServiceConfig:
+    """Declarative description of one always-on monitoring service (``run_service``).
+
+    The bank-defining half (``case_study``, ``synthesis``,
+    ``static_thresholds``, ``detectors``, ``include_mdc``) matches
+    :class:`RuntimeConfig` field for field and flows through the shared
+    :func:`~repro.runtime.engine.build_detector_bank`; the rest configures
+    the serving machinery of :class:`~repro.serve.service.MonitorService`.
+
+    Parameters
+    ----------
+    case_study / case_study_options:
+        Registry name (and builder kwargs) of the problem to serve; optional
+        when a problem is passed to ``run_service`` directly.
+    synthesis:
+        Optional :class:`SynthesisConfig`; each algorithm's synthesized
+        threshold is deployed under the algorithm's name.
+    static_thresholds:
+        Extra static residue detectors, ``label -> threshold value``.
+    detectors:
+        Extra registry-named detectors, ``label -> {"name": ..., "options":
+        {...}}`` (a bare name string is also accepted).
+    include_mdc:
+        Deploy the plant's existing monitors as ``"mdc"``.
+    residue_source:
+        ``"observer"`` (compute residues from ingested measurements) or
+        ``"ingest"`` (producer supplies residues).
+    ring_capacity:
+        Pending samples each instance's ring buffer holds.
+    overflow:
+        Ring-buffer overflow policy: ``"drop-oldest"``, ``"drop-newest"`` or
+        ``"error"``.
+    auto_drain:
+        Drain complete rounds from inside ``ingest`` (default True).
+    log_path:
+        When set, the replayable service event stream is appended to this
+        JSONL file; ``None`` keeps it in memory only.
+    flush_every:
+        Log flush cadence in events (0 defers to close).
+    sink_capacity:
+        When set, every sink passed to ``run_service`` is wrapped in a
+        :class:`~repro.serve.backpressure.BufferedSink` of this capacity.
+    sink_policy:
+        The wrapped sinks' overflow policy: ``"block"``, ``"drop-oldest"``
+        or ``"drop-newest"``.
+    """
+
+    case_study: str | None = None
+    case_study_options: dict = field(default_factory=dict)
+    synthesis: SynthesisConfig | None = None
+    static_thresholds: dict = field(default_factory=dict)
+    detectors: dict = field(default_factory=dict)
+    include_mdc: bool = True
+    residue_source: str = "observer"
+    ring_capacity: int = 64
+    overflow: str = "drop-oldest"
+    auto_drain: bool = True
+    log_path: str | None = None
+    flush_every: int = 1
+    sink_capacity: int | None = None
+    sink_policy: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.case_study is not None:
+            self.case_study = str(self.case_study)
+            if self.case_study not in CASE_STUDIES:
+                raise ValidationError(
+                    f"unknown case study {self.case_study!r}; "
+                    f"available: {', '.join(CASE_STUDIES.available())}"
+                )
+        if isinstance(self.synthesis, dict):
+            self.synthesis = SynthesisConfig.from_dict(self.synthesis)
+        self.static_thresholds = {
+            str(label): float(value) for label, value in self.static_thresholds.items()
+        }
+        self.detectors = _normalize_detector_specs(self.detectors)
+        self.residue_source = str(self.residue_source)
+        if self.residue_source not in _RESIDUE_SOURCES:
+            raise ValidationError(
+                f"unknown residue_source {self.residue_source!r}; "
+                f"expected one of {_RESIDUE_SOURCES}"
+            )
+        self.ring_capacity = int(self.ring_capacity)
+        if self.ring_capacity <= 0:
+            raise ValidationError("ring_capacity must be positive")
+        self.overflow = str(self.overflow)
+        if self.overflow not in _RING_OVERFLOW_POLICIES:
+            raise ValidationError(
+                f"unknown overflow policy {self.overflow!r}; "
+                f"expected one of {_RING_OVERFLOW_POLICIES}"
+            )
+        self.auto_drain = bool(self.auto_drain)
+        self.flush_every = int(self.flush_every)
+        if self.flush_every < 0:
+            raise ValidationError("flush_every must be non-negative")
+        if self.sink_capacity is not None:
+            self.sink_capacity = int(self.sink_capacity)
+            if self.sink_capacity <= 0:
+                raise ValidationError("sink_capacity must be positive")
+        self.sink_policy = str(self.sink_policy)
+        if self.sink_policy not in _SINK_POLICIES:
+            raise ValidationError(
+                f"unknown sink_policy {self.sink_policy!r}; "
+                f"expected one of {_SINK_POLICIES}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "case_study": self.case_study,
+            "case_study_options": dict(self.case_study_options),
+            "synthesis": None if self.synthesis is None else self.synthesis.to_dict(),
+            "static_thresholds": dict(self.static_thresholds),
+            "detectors": {
+                label: {"name": spec["name"], "options": dict(spec["options"])}
+                for label, spec in self.detectors.items()
+            },
+            "include_mdc": self.include_mdc,
+            "residue_source": self.residue_source,
+            "ring_capacity": self.ring_capacity,
+            "overflow": self.overflow,
+            "auto_drain": self.auto_drain,
+            "log_path": self.log_path,
+            "flush_every": self.flush_every,
+            "sink_capacity": self.sink_capacity,
+            "sink_policy": self.sink_policy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        return cls(**_checked_fields(cls, data))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON string form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceConfig":
         """Rebuild from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 

@@ -76,6 +76,58 @@ class BatchDetector(abc.ABC):
         """Snapshot of the per-instance state (arrays are copies)."""
 
     # ------------------------------------------------------------------
+    # dynamic membership (used by repro.serve for attach/detach mid-run)
+    # ------------------------------------------------------------------
+    def grow(self, count: int = 1) -> None:
+        """Append ``count`` fresh instances (state as at construction).
+
+        Existing instances' state is untouched; the new rows start from the
+        initial (pre-trace) state, including a per-instance step counter of 0
+        where the core keeps one.
+        """
+        count = int(count)
+        if count <= 0:
+            raise ValidationError("grow requires a positive instance count")
+        self._grow_state(count)
+        self.n_instances += count
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the batch to the given instance rows.
+
+        ``keep`` must be strictly increasing row indices; the surviving
+        instances keep their state bit-for-bit (rows are sliced, never
+        recomputed).  An empty ``keep`` empties the batch — valid for a
+        long-lived service whose last instance detached.
+        """
+        keep = np.asarray(keep, dtype=int).reshape(-1)
+        if keep.size:
+            if keep.min() < 0 or keep.max() >= self.n_instances:
+                raise ValidationError(
+                    f"compact indices out of range [0, {self.n_instances})"
+                )
+            if np.any(np.diff(keep) <= 0):
+                raise ValidationError("compact indices must be strictly increasing")
+        self._compact_state(keep)
+        self.n_instances = int(keep.size)
+
+    def _grow_state(self, count: int) -> None:
+        """Per-core hook: append ``count`` fresh rows to every state array."""
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        """Per-core hook: slice every state array down to the ``keep`` rows."""
+
+    def rebind(self, obj) -> None:
+        """Hot-swap the detector's parameters without resetting any state.
+
+        Used by :meth:`repro.serve.service.MonitorService.swap_thresholds`
+        to deploy re-synthesized thresholds into a running fleet.  Cores
+        without swappable parameters raise.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} does not support hot rebinding"
+        )
+
+    # ------------------------------------------------------------------
     def _check_block(self, values: np.ndarray) -> np.ndarray:
         values = np.atleast_2d(np.asarray(values, dtype=float))
         if values.shape[0] != self.n_instances:
@@ -106,20 +158,43 @@ class BatchThresholdDetector(BatchDetector):
         if not isinstance(threshold, ThresholdVector):
             threshold = ThresholdVector(np.asarray(threshold, dtype=float))
         self.threshold = threshold
+        # Per-instance sample counters: instances attached mid-run (grow)
+        # start their threshold timeline at 0 while the rest of the fleet is
+        # already deep into the vector.
+        self._steps = np.zeros(self.n_instances, dtype=int)
 
     def step(self, residues: np.ndarray) -> np.ndarray:
         residues = self._check_block(residues)
         norms = self.threshold.residue_norms(residues)
-        index = min(self._step_index, self.threshold.length - 1)
+        index = np.minimum(self._steps, self.threshold.length - 1)
+        self._steps += 1
         self._step_index += 1
         return alarm_comparison(norms, self.threshold.values[index])
 
     def reset(self) -> None:
         self._step_index = 0
+        self._steps = np.zeros(self.n_instances, dtype=int)
 
     @property
     def state(self) -> dict:
-        return {"step": self._step_index}
+        return {"step": self._step_index, "steps": self._steps.copy()}
+
+    def _grow_state(self, count: int) -> None:
+        self._steps = np.concatenate([self._steps, np.zeros(count, dtype=int)])
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        self._steps = self._steps[keep]
+
+    def rebind(self, threshold) -> None:
+        """Swap in a new :class:`ThresholdVector`; per-instance steps are kept."""
+        if not isinstance(threshold, ThresholdVector):
+            try:
+                threshold = ThresholdVector(np.asarray(threshold, dtype=float))
+            except (TypeError, ValueError) as error:
+                raise ValidationError(
+                    "BatchThresholdDetector rebinds to a ThresholdVector"
+                ) from error
+        self.threshold = threshold
 
 
 class BatchCusum(BatchDetector):
@@ -145,6 +220,18 @@ class BatchCusum(BatchDetector):
     def state(self) -> dict:
         return {"step": self._step_index, "statistic": self._statistic.copy()}
 
+    def _grow_state(self, count: int) -> None:
+        self._statistic = np.concatenate([self._statistic, np.zeros(count)])
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        self._statistic = self._statistic[keep]
+
+    def rebind(self, detector) -> None:
+        """Swap bias/threshold (a :class:`CusumDetector`); accumulators are kept."""
+        if not isinstance(detector, CusumDetector):
+            raise ValidationError("BatchCusum rebinds to a CusumDetector")
+        self.detector = detector
+
 
 class BatchChiSquare(BatchDetector):
     """Fleet-wide online chi-square detector (stateless per sample)."""
@@ -166,6 +253,12 @@ class BatchChiSquare(BatchDetector):
     def state(self) -> dict:
         return {"step": self._step_index}
 
+    def rebind(self, detector) -> None:
+        """Swap in a new :class:`ChiSquareDetector` (covariance and/or threshold)."""
+        if not isinstance(detector, ChiSquareDetector):
+            raise ValidationError("BatchChiSquare rebinds to a ChiSquareDetector")
+        self.detector = detector
+
 
 # ----------------------------------------------------------------------
 # Plant monitors
@@ -175,6 +268,7 @@ def _batch_satisfied(
     previous: np.ndarray | None,
     current: np.ndarray,
     dt: float,
+    valid: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-instance "check passes at this sample" for one monitor.
 
@@ -183,6 +277,11 @@ def _batch_satisfied(
     axis.  Monitors outside the built-in hierarchy fall back to evaluating
     their own ``satisfied`` on a two-sample window per instance, which stays
     correct for any monitor with at most one sample of lookback.
+
+    ``valid`` flags which rows of ``previous`` hold a real earlier sample;
+    instances attached mid-run have none yet, and behave like an instance at
+    its first sample (gradient checks pass).  ``None`` means every row is
+    valid, matching the closed-batch path.
     """
     if isinstance(monitor, RangeMonitor):
         values = current[:, monitor.channel]
@@ -198,18 +297,22 @@ def _batch_satisfied(
         if previous is None:
             return np.ones(current.shape[0], dtype=bool)
         rates = np.abs(current[:, monitor.channel] - previous[:, monitor.channel]) / float(dt)
-        return rates <= monitor.max_rate + 1e-12
+        satisfied = rates <= monitor.max_rate + 1e-12
+        if valid is not None:
+            satisfied |= ~valid
+        return satisfied
     if isinstance(monitor, DeadZoneMonitor):
-        return _batch_satisfied(monitor.inner, previous, current, dt)
+        return _batch_satisfied(monitor.inner, previous, current, dt, valid)
     if isinstance(monitor, CompositeMonitor):
         result = np.ones(current.shape[0], dtype=bool)
         for member in monitor.monitors:
-            result &= _batch_satisfied(member, previous, current, dt)
+            result &= _batch_satisfied(member, previous, current, dt, valid)
         return result
     # Generic fallback: per-instance two-sample window (slow path).
     result = np.zeros(current.shape[0], dtype=bool)
     for i in range(current.shape[0]):
-        if previous is None:
+        has_previous = previous is not None and (valid is None or bool(valid[i]))
+        if not has_previous:
             window = current[i : i + 1]
         else:
             window = np.vstack([previous[i], current[i]])
@@ -228,17 +331,23 @@ class _MonitorNode:
         elif isinstance(monitor, CompositeMonitor):
             self.children = [_MonitorNode(member, n_instances) for member in monitor.monitors]
 
-    def alarms(self, previous: np.ndarray | None, current: np.ndarray, dt: float) -> np.ndarray:
+    def alarms(
+        self,
+        previous: np.ndarray | None,
+        current: np.ndarray,
+        dt: float,
+        valid: np.ndarray | None = None,
+    ) -> np.ndarray:
         if isinstance(self.monitor, CompositeMonitor):
             result = np.zeros(current.shape[0], dtype=bool)
             for child in self.children:
-                result |= child.alarms(previous, current, dt)
+                result |= child.alarms(previous, current, dt, valid)
             return result
         if isinstance(self.monitor, DeadZoneMonitor):
-            violated = ~_batch_satisfied(self.monitor.inner, previous, current, dt)
+            violated = ~_batch_satisfied(self.monitor.inner, previous, current, dt, valid)
             self.run_length = np.where(violated, self.run_length + 1, 0)
             return self.run_length >= self.monitor.dead_zone_samples
-        return ~_batch_satisfied(self.monitor, previous, current, dt)
+        return ~_batch_satisfied(self.monitor, previous, current, dt, valid)
 
     def reset(self) -> None:
         if isinstance(self.monitor, DeadZoneMonitor):
@@ -246,6 +355,53 @@ class _MonitorNode:
         elif isinstance(self.monitor, CompositeMonitor):
             for child in self.children:
                 child.reset()
+
+    def grow(self, count: int) -> None:
+        self.n_instances += count
+        if isinstance(self.monitor, DeadZoneMonitor):
+            self.run_length = np.concatenate([self.run_length, np.zeros(count, dtype=int)])
+        elif isinstance(self.monitor, CompositeMonitor):
+            for child in self.children:
+                child.grow(count)
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.n_instances = int(keep.size)
+        if isinstance(self.monitor, DeadZoneMonitor):
+            self.run_length = self.run_length[keep]
+        elif isinstance(self.monitor, CompositeMonitor):
+            for child in self.children:
+                child.compact(keep)
+
+    def _kind(self) -> str:
+        if isinstance(self.monitor, DeadZoneMonitor):
+            return "dead-zone"
+        if isinstance(self.monitor, CompositeMonitor):
+            return "composite"
+        return "leaf"
+
+    def adopt(self, old: "_MonitorNode") -> None:
+        """Carry per-instance alarm state over from a structurally matching tree.
+
+        A replacement monitor may change parameters (bounds, rates, dead-zone
+        lengths) but not the tree shape: dead-zone run-length counters only
+        survive a swap when old and new node are both dead-zoned, and
+        composites must have the same member count.
+        """
+        if self._kind() != old._kind():
+            raise ValidationError(
+                f"replacement monitor structure differs ({old._kind()} -> "
+                f"{self._kind()}); per-instance monitor state cannot be preserved"
+            )
+        if isinstance(self.monitor, DeadZoneMonitor):
+            self.run_length = old.run_length.copy()
+        elif isinstance(self.monitor, CompositeMonitor):
+            if len(self.children) != len(old.children):
+                raise ValidationError(
+                    f"replacement composite has {len(self.children)} members, "
+                    f"the deployed one has {len(old.children)}"
+                )
+            for child, old_child in zip(self.children, old.children):
+                child.adopt(old_child)
 
     def snapshot(self, state: dict, prefix: str) -> None:
         if isinstance(self.monitor, DeadZoneMonitor):
@@ -271,18 +427,53 @@ class BatchMonitor(BatchDetector):
         self.dt = float(check_positive("dt", dt))
         self._root = _MonitorNode(monitor, self.n_instances)
         self._previous: np.ndarray | None = None
+        self._has_previous = np.zeros(self.n_instances, dtype=bool)
 
     def step(self, measurements: np.ndarray) -> np.ndarray:
         measurements = self._check_block(measurements)
-        alarms = self._root.alarms(self._previous, measurements, self.dt)
+        if self._previous is None or not np.any(self._has_previous):
+            # No instance has an earlier sample: identical to the first step
+            # of a closed batch.
+            alarms = self._root.alarms(None, measurements, self.dt)
+        else:
+            alarms = self._root.alarms(
+                self._previous, measurements, self.dt, self._has_previous
+            )
         self._previous = measurements.copy()
+        self._has_previous[:] = True
         self._step_index += 1
         return alarms
 
     def reset(self) -> None:
         self._step_index = 0
         self._previous = None
+        self._has_previous = np.zeros(self.n_instances, dtype=bool)
         self._root.reset()
+
+    def _grow_state(self, count: int) -> None:
+        self._root.grow(count)
+        self._has_previous = np.concatenate(
+            [self._has_previous, np.zeros(count, dtype=bool)]
+        )
+        if self._previous is not None:
+            self._previous = np.vstack(
+                [self._previous, np.zeros((count, self._previous.shape[1]))]
+            )
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        self._root.compact(keep)
+        self._has_previous = self._has_previous[keep]
+        if self._previous is not None:
+            self._previous = self._previous[keep]
+
+    def rebind(self, monitor) -> None:
+        """Swap in a structurally matching :class:`Monitor`; run-lengths are kept."""
+        if not isinstance(monitor, Monitor):
+            raise ValidationError("BatchMonitor rebinds to a Monitor")
+        replacement = _MonitorNode(monitor, self.n_instances)
+        replacement.adopt(self._root)
+        self.monitor = monitor
+        self._root = replacement
 
     @property
     def state(self) -> dict:

@@ -28,8 +28,8 @@ def _resolve_problem(config, problem):
     if problem is None:
         if config.case_study is None:
             raise ValidationError(
-                "run_fleet needs a problem: pass one explicitly or set "
-                "RuntimeConfig.case_study"
+                "a config-driven deployment needs a problem: pass one "
+                "explicitly or set case_study on the config"
             )
         problem = CASE_STUDIES.create(config.case_study, **config.case_study_options)
     # Accept a packaged CaseStudy as well as a bare problem.
@@ -103,6 +103,63 @@ def _build_schedule(config) -> list[ScheduledAttack]:
     return schedule
 
 
+def build_detector_bank(
+    problem, config, extra: Mapping[str, object] | None = None
+) -> dict[str, object]:
+    """Assemble the ``label -> detector`` bank a deployment config describes.
+
+    Shared by :func:`run_fleet` and :func:`repro.serve.engine.run_service`:
+    ``config`` is any object carrying the four bank-defining fields
+    (``synthesis``, ``static_thresholds``, ``detectors``, ``include_mdc``) —
+    both :class:`~repro.api.config.RuntimeConfig` and
+    :class:`~repro.api.config.ServiceConfig` qualify.  ``extra`` entries
+    (caller-supplied detector objects) are merged last.  Raises when the
+    result would be empty or any two sources collide on a label.
+    """
+    bank: dict[str, object] = {}
+
+    def deploy(label: str, obj, source: str) -> None:
+        # Silent label collisions would drop a configured detector; every
+        # source (synthesis algorithms, static thresholds, named detectors,
+        # mdc, explicit extras) must produce a distinct label.
+        if label in bank:
+            raise ValidationError(
+                f"detector label {label!r} (from {source}) is already deployed; "
+                "rename one of the colliding entries"
+            )
+        bank[label] = obj
+
+    if config.synthesis is not None:
+        # One run_pipeline call (FAR skipped) shares a single incremental
+        # SynthesisSession across every algorithm and the optional relax
+        # stage; the deployed vector is the relaxed one when configured.
+        from repro.api.execute import run_pipeline
+
+        pipeline = run_pipeline(problem, synthesis=config.synthesis)
+        for algorithm in config.synthesis.algorithms:
+            threshold = pipeline.deployed_threshold(algorithm)
+            if threshold is not None:
+                deploy(algorithm, threshold, "synthesis")
+    for label, value in config.static_thresholds.items():
+        deploy(str(label), problem.static_threshold(float(value)), "static_thresholds")
+    for label, spec in config.detectors.items():
+        deploy(
+            str(label),
+            _build_detector(problem, spec["name"], spec.get("options", {})),
+            "detectors",
+        )
+    if config.include_mdc and len(problem.mdc) > 0:
+        deploy("mdc", problem.mdc, "include_mdc")
+    for label, obj in (extra or {}).items():
+        deploy(str(label), obj, "the detectors argument")
+    if not bank:
+        raise ValidationError(
+            "the configuration deploys no detectors: configure synthesis, "
+            "static_thresholds, detectors, or include_mdc on a monitored plant"
+        )
+    return bank
+
+
 def run_fleet(
     config,
     problem=None,
@@ -141,47 +198,7 @@ def run_fleet(
     problem = _resolve_problem(config, problem)
     horizon = problem.horizon if config.horizon is None else config.horizon
 
-    bank: dict[str, object] = {}
-
-    def deploy(label: str, obj, source: str) -> None:
-        # Silent label collisions would drop a configured detector; every
-        # source (synthesis algorithms, static thresholds, named detectors,
-        # mdc, explicit extras) must produce a distinct label.
-        if label in bank:
-            raise ValidationError(
-                f"detector label {label!r} (from {source}) is already deployed; "
-                "rename one of the colliding entries"
-            )
-        bank[label] = obj
-
-    if config.synthesis is not None:
-        # One run_pipeline call (FAR skipped) shares a single incremental
-        # SynthesisSession across every algorithm and the optional relax
-        # stage; the deployed vector is the relaxed one when configured.
-        from repro.api.execute import run_pipeline
-
-        pipeline = run_pipeline(problem, synthesis=config.synthesis)
-        for algorithm in config.synthesis.algorithms:
-            threshold = pipeline.deployed_threshold(algorithm)
-            if threshold is not None:
-                deploy(algorithm, threshold, "synthesis")
-    for label, value in config.static_thresholds.items():
-        deploy(str(label), problem.static_threshold(float(value)), "static_thresholds")
-    for label, spec in config.detectors.items():
-        deploy(
-            str(label),
-            _build_detector(problem, spec["name"], spec.get("options", {})),
-            "detectors",
-        )
-    if config.include_mdc and len(problem.mdc) > 0:
-        deploy("mdc", problem.mdc, "include_mdc")
-    for label, obj in (detectors or {}).items():
-        deploy(str(label), obj, "the detectors argument")
-    if not bank:
-        raise ValidationError(
-            "run_fleet needs at least one detector: configure synthesis, "
-            "static_thresholds, detectors, or include_mdc on a monitored plant"
-        )
+    bank = build_detector_bank(problem, config, extra=detectors)
 
     if config.noise_model is not None:
         noise_model = NOISE_MODELS.create(config.noise_model, **config.noise_options)
@@ -226,4 +243,4 @@ def run_fleet(
     return report
 
 
-__all__ = ["run_fleet"]
+__all__ = ["build_detector_bank", "run_fleet"]

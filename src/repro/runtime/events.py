@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import abc
 import json
+from collections import deque
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
+
+from repro.utils.validation import ValidationError
 
 
 @dataclass(frozen=True)
@@ -66,12 +69,31 @@ class EventSink(abc.ABC):
 
 
 class InMemorySink(EventSink):
-    """Collects every event in a list (the default sink for tests and reports)."""
+    """Collects every event in memory (the default sink for tests and reports).
 
-    def __init__(self) -> None:
-        self.events: list[AlarmEvent] = []
+    Parameters
+    ----------
+    maxlen:
+        Optional retention cap.  ``None`` (the default) keeps every event in
+        a plain list; an integer keeps only the most recent ``maxlen`` events
+        in a bounded deque, so an always-on service cannot grow the sink
+        without bound.  :attr:`evicted` counts events that aged out.
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        self.maxlen = None if maxlen is None else int(maxlen)
+        if self.maxlen is not None and self.maxlen <= 0:
+            raise ValidationError("maxlen must be positive (or None for unbounded)")
+        self.events: Sequence[AlarmEvent] = (
+            [] if self.maxlen is None else deque(maxlen=self.maxlen)
+        )
+        self.evicted = 0
 
     def emit(self, events: Sequence[AlarmEvent]) -> None:
+        if self.maxlen is not None:
+            overflow = len(self.events) + len(events) - self.maxlen
+            if overflow > 0:
+                self.evicted += overflow
         self.events.extend(events)
 
     def __len__(self) -> int:
@@ -98,11 +120,27 @@ class InMemorySink(EventSink):
 
 
 class JSONLSink(EventSink):
-    """Appends one JSON object per event to a file (JSON Lines format)."""
+    """Appends one JSON object per event to a file (JSON Lines format).
 
-    def __init__(self, path: str | Path):
+    Parameters
+    ----------
+    path:
+        The event-log file (appended to, created on first event).
+    flush_every:
+        Flush the OS buffer every this-many ``emit`` batches (default 1:
+        after every batch), so a killed long-running service leaves a
+        readable log that is at most ``flush_every`` batches behind.  ``0``
+        defers flushing to :meth:`close` (the pre-flush behaviour, fastest
+        for short offline runs).
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 1):
         self.path = Path(path)
+        self.flush_every = int(flush_every)
+        if self.flush_every < 0:
+            raise ValidationError("flush_every must be non-negative")
         self._handle = None
+        self._emits_since_flush = 0
 
     def emit(self, events: Sequence[AlarmEvent]) -> None:
         if not events:
@@ -111,6 +149,10 @@ class JSONLSink(EventSink):
             self._handle = self.path.open("a", encoding="utf-8")
         for event in events:
             self._handle.write(json.dumps(event.to_dict()) + "\n")
+        self._emits_since_flush += 1
+        if self.flush_every and self._emits_since_flush >= self.flush_every:
+            self._handle.flush()
+            self._emits_since_flush = 0
 
     def close(self) -> None:
         if self._handle is not None:
@@ -119,14 +161,30 @@ class JSONLSink(EventSink):
 
     @staticmethod
     def read(path: str | Path) -> list[AlarmEvent]:
-        """Load a JSONL event file back into :class:`AlarmEvent` objects."""
+        """Load a JSONL event file back into :class:`AlarmEvent` objects.
+
+        Mirrors :class:`~repro.explore.store.ResultStore`'s partial-write
+        handling: a truncated/corrupt *trailing* line — the signature of a
+        service killed mid-append — is dropped silently, while a corrupt
+        *interior* line still raises (the file was tampered with, not merely
+        cut short).
+        """
         events = []
-        with Path(path).open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    events.append(AlarmEvent(**json.loads(line)))
+        for position, line in enumerate(lines := _stripped_lines(path)):
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                if position == len(lines) - 1:
+                    break
+                raise
+            events.append(AlarmEvent(**data))
         return events
+
+
+def _stripped_lines(path: str | Path) -> list[str]:
+    """Non-empty stripped lines of a text file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
 
 
 __all__ = ["AlarmEvent", "EventSink", "InMemorySink", "JSONLSink"]

@@ -74,6 +74,16 @@ class OnlineDetector(abc.ABC):
         """Return to the initial (pre-trace) state."""
         self._core.reset()
 
+    def rebind(self, obj) -> None:
+        """Hot-swap the detector's parameters without resetting its state.
+
+        Delegates to the wrapped core's
+        :meth:`~repro.runtime.batch.BatchDetector.rebind`; subclasses keep
+        their convenience attributes (``threshold``, ``detector``,
+        ``monitor``) in sync.
+        """
+        self._core.rebind(obj)
+
     def run(self, samples: np.ndarray) -> np.ndarray:
         """Step through a ``(T, m)`` sequence, returning the ``(T,)`` alarm flags.
 
@@ -111,6 +121,11 @@ class OnlineResidueDetector(OnlineDetector):
         """Online wrapper around an offline :class:`ResidueDetector`."""
         return cls(detector.threshold)
 
+    def rebind(self, threshold) -> None:
+        """Swap in a new threshold vector; the sample position is kept."""
+        self._core.rebind(threshold)
+        self.threshold = self._core.threshold
+
     def as_batch(self, n_instances: int) -> BatchThresholdDetector:
         return BatchThresholdDetector(self.threshold, n_instances)
 
@@ -135,6 +150,11 @@ class OnlineCusum(OnlineDetector):
     def statistic(self) -> float:
         """Current value of the accumulated CUSUM statistic."""
         return float(self._core.state["statistic"][0])
+
+    def rebind(self, detector) -> None:
+        """Swap bias/threshold; the accumulated statistic is kept."""
+        self._core.rebind(detector)
+        self.detector = detector
 
     def as_batch(self, n_instances: int) -> BatchCusum:
         return BatchCusum(self.detector, n_instances)
@@ -167,6 +187,11 @@ class OnlineChiSquare(OnlineDetector):
             )
         )
 
+    def rebind(self, detector) -> None:
+        """Swap in a new chi-square detector (covariance and/or threshold)."""
+        self._core.rebind(detector)
+        self.detector = detector
+
     def as_batch(self, n_instances: int) -> BatchChiSquare:
         return BatchChiSquare(self.detector, n_instances)
 
@@ -183,6 +208,11 @@ class OnlineMonitor(OnlineDetector):
         self.monitor = monitor
         self.dt = float(dt)
         super().__init__(BatchMonitor(monitor, dt, 1))
+
+    def rebind(self, monitor) -> None:
+        """Swap in a structurally matching monitor; dead-zone counters are kept."""
+        self._core.rebind(monitor)
+        self.monitor = monitor
 
     def as_batch(self, n_instances: int) -> BatchMonitor:
         return BatchMonitor(self.monitor, self.dt, n_instances)

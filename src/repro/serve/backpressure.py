@@ -1,0 +1,110 @@
+"""Back-pressure-aware buffering in front of slow event sinks.
+
+An always-on service cannot let a slow alarm consumer (a network forwarder, a
+congested disk) stall the detector step.  :class:`BufferedSink` decouples the
+two: the service's ``emit`` lands in a bounded in-memory queue, and the queue
+drains into the wrapped :class:`~repro.runtime.events.EventSink` in batches.
+When the queue is full, the configured policy decides who pays:
+
+``"block"``
+    The producer pays: the queue is flushed *synchronously* into the wrapped
+    sink to make room.  No event is ever lost, and because the flush happens
+    on the caller's thread there is no waiting on another thread — the policy
+    cannot deadlock by construction.
+``"drop-oldest"``
+    Latency pays: the oldest queued events are discarded to admit the new
+    ones (the consumer sees the freshest alarms).
+``"drop-newest"``
+    The new arrivals pay: incoming events that do not fit are discarded.
+
+Every dropped event is counted in :attr:`BufferedSink.dropped`, so a
+deployment can audit exactly how much back-pressure cost it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.runtime.events import AlarmEvent, EventSink
+from repro.utils.validation import ValidationError, check_positive
+
+#: Queue-overflow policies accepted by :class:`BufferedSink`.
+POLICIES = ("block", "drop-oldest", "drop-newest")
+
+
+class BufferedSink(EventSink):
+    """A bounded queue in front of another :class:`EventSink`.
+
+    Parameters
+    ----------
+    inner:
+        The sink the queue drains into.
+    capacity:
+        Maximum number of queued events.
+    policy:
+        Overflow policy, one of :data:`POLICIES`.
+
+    Attributes
+    ----------
+    emitted:
+        Events received from the producer.
+    forwarded:
+        Events actually delivered to the wrapped sink.
+    dropped:
+        Events discarded by the overflow policy.
+    flushes:
+        Number of (non-empty) drains into the wrapped sink.
+    """
+
+    def __init__(self, inner: EventSink, capacity: int = 1024, policy: str = "block"):
+        self.inner = inner
+        self.capacity = int(check_positive("capacity", capacity))
+        if policy not in POLICIES:
+            raise ValidationError(
+                f"unknown back-pressure policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.policy = policy
+        self._queue: deque[AlarmEvent] = deque()
+        self.emitted = 0
+        self.forwarded = 0
+        self.dropped = 0
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def emit(self, events: Sequence[AlarmEvent]) -> None:
+        """Queue one event batch, applying the overflow policy when full."""
+        events = list(events)
+        self.emitted += len(events)
+        for event in events:
+            if len(self._queue) >= self.capacity:
+                if self.policy == "block":
+                    self.flush()
+                elif self.policy == "drop-oldest":
+                    self._queue.popleft()
+                    self.dropped += 1
+                else:  # drop-newest
+                    self.dropped += 1
+                    continue
+            self._queue.append(event)
+
+    def flush(self) -> int:
+        """Drain every queued event into the wrapped sink; returns how many."""
+        if not self._queue:
+            return 0
+        batch = list(self._queue)
+        self._queue.clear()
+        self.inner.emit(batch)
+        self.forwarded += len(batch)
+        self.flushes += 1
+        return len(batch)
+
+    def close(self) -> None:
+        """Flush the queue, then close the wrapped sink."""
+        self.flush()
+        self.inner.close()
+
+
+__all__ = ["POLICIES", "BufferedSink"]

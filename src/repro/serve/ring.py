@@ -1,0 +1,94 @@
+"""Fixed-capacity ring buffers for per-instance measurement streams.
+
+Each attached instance of a :class:`~repro.serve.service.MonitorService`
+owns one :class:`RingBuffer` per ingested signal: producers push vectors as
+they arrive (asynchronously, one instance at a time), the service drains
+whole fleet rounds out of them into the batched detector step.  The buffer
+is a preallocated ``(capacity, width)`` float array with head/count
+indices — pushing and popping never allocates, so ingest stays cheap at
+service rates.
+
+Overflow is the caller's policy decision: :meth:`RingBuffer.push` refuses
+when full (returns ``False``), :meth:`RingBuffer.drop_oldest` makes room by
+discarding the oldest pending sample.  The service maps its configured
+``overflow`` policy (``"drop-oldest"``, ``"drop-newest"``, ``"error"``) onto
+these primitives and counts every dropped sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_positive
+
+
+class RingBuffer:
+    """A FIFO of fixed-width float vectors with a hard capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of pending vectors.
+    width:
+        Vector width (the plant's output dimension ``m``).
+    """
+
+    def __init__(self, capacity: int, width: int):
+        self.capacity = int(check_positive("capacity", capacity))
+        self.width = int(check_positive("width", width))
+        self._data = np.zeros((self.capacity, self.width))
+        self._head = 0  # row of the oldest pending vector
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        """True when a further :meth:`push` would be refused."""
+        return self._count >= self.capacity
+
+    def push(self, vector: np.ndarray) -> bool:
+        """Append one vector; returns ``False`` (and stores nothing) when full."""
+        if self._count >= self.capacity:
+            return False
+        vector = np.asarray(vector, dtype=float).reshape(-1)
+        if vector.size != self.width:
+            raise ValidationError(
+                f"sample has {vector.size} channels, the stream expects {self.width}"
+            )
+        row = (self._head + self._count) % self.capacity
+        self._data[row] = vector
+        self._count += 1
+        return True
+
+    def drop_oldest(self) -> None:
+        """Discard the oldest pending vector (no-op on an empty buffer)."""
+        if self._count:
+            self._head = (self._head + 1) % self.capacity
+            self._count -= 1
+
+    def pop(self) -> np.ndarray:
+        """Remove and return (a copy of) the oldest pending vector."""
+        if not self._count:
+            raise ValidationError("pop from an empty ring buffer")
+        row = self._head
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        return self._data[row].copy()
+
+    def peek(self) -> np.ndarray:
+        """The oldest pending vector without removing it (a copy)."""
+        if not self._count:
+            raise ValidationError("peek into an empty ring buffer")
+        return self._data[self._head].copy()
+
+    def clear(self) -> int:
+        """Discard every pending vector; returns how many were discarded."""
+        pending = self._count
+        self._head = 0
+        self._count = 0
+        return pending
+
+
+__all__ = ["RingBuffer"]

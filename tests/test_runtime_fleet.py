@@ -319,6 +319,54 @@ class TestEventSinks:
             sink.emit([])
         assert not path.exists()
 
+    def test_in_memory_sink_maxlen_keeps_only_the_freshest(self):
+        sink = InMemorySink(maxlen=3)
+        sink.emit([AlarmEvent(0, k, "a") for k in range(5)])
+        assert [e.step for e in sink] == [2, 3, 4]
+        assert sink.evicted == 2
+        sink.emit([AlarmEvent(0, 5, "a")])
+        assert [e.step for e in sink] == [3, 4, 5]
+        assert sink.evicted == 3
+        with pytest.raises(ValidationError):
+            InMemorySink(maxlen=0)
+
+    def test_jsonl_sink_flushes_every_emit_by_default(self, tmp_path):
+        path = tmp_path / "alarms.jsonl"
+        sink = JSONLSink(path)
+        sink.emit([AlarmEvent(0, 1, "a")])
+        # Readable mid-run, before close: the default cadence flushes the OS
+        # buffer after every emit batch.
+        assert JSONLSink.read(path) == [AlarmEvent(0, 1, "a")]
+        sink.close()
+
+    def test_jsonl_sink_flush_every_knob(self, tmp_path):
+        path = tmp_path / "alarms.jsonl"
+        sink = JSONLSink(path, flush_every=2)
+        sink.emit([AlarmEvent(0, 1, "a")])
+        assert JSONLSink.read(path) == []
+        sink.emit([AlarmEvent(0, 2, "a")])
+        assert len(JSONLSink.read(path)) == 2
+        sink.close()
+        with pytest.raises(ValidationError):
+            JSONLSink(path, flush_every=-1)
+
+    def test_jsonl_sink_read_recovers_from_a_truncated_tail(self, tmp_path):
+        # Mirrors the ResultStore partial-write contract: a service killed
+        # mid-append leaves a partial final line, which read() drops; corrupt
+        # interior lines still raise.
+        path = tmp_path / "alarms.jsonl"
+        with JSONLSink(path) as sink:
+            sink.emit([AlarmEvent(0, k, "a") for k in range(3)])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"instance": 0, "step": 3, "det')
+        assert [e.step for e in JSONLSink.read(path)] == [0, 1, 2]
+
+        lines = path.read_text().splitlines()
+        lines[1] = "{not json}"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            JSONLSink.read(path)
+
 
 class TestRunFleet:
     def test_config_driven_run_on_case_study(self, tmp_path):

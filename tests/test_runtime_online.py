@@ -235,3 +235,117 @@ class TestBatchedCores:
     def test_make_batched_rejects_unknown_objects(self):
         with pytest.raises(ValidationError):
             make_batched(object(), 3)
+
+
+class TestMembershipHooks:
+    """grow/compact on the batched cores: row changes leave other rows alone."""
+
+    def test_cusum_grow_and_compact_preserve_rows(self):
+        core = make_batched(CusumDetector(bias=0.01, threshold=10.0), 3)
+        core.run(np.full((4, 3, 1), 0.5))
+        before = core.state["statistic"].copy()
+        core.grow(2)
+        assert core.n_instances == 5
+        state = core.state["statistic"]
+        np.testing.assert_array_equal(state[:3], before)
+        np.testing.assert_array_equal(state[3:], [0.0, 0.0])
+        core.compact(np.array([1, 4]))
+        np.testing.assert_array_equal(core.state["statistic"], [before[1], 0.0])
+
+    def test_threshold_steps_are_per_instance(self, dcmotor_problem):
+        core = make_batched(dcmotor_problem.static_threshold(0.5), 2)
+        core.step(np.zeros((2, 1)))
+        core.step(np.zeros((2, 1)))
+        core.grow(1)
+        np.testing.assert_array_equal(core.state["steps"], [2, 2, 0])
+        core.step(np.zeros((3, 1)))
+        np.testing.assert_array_equal(core.state["steps"], [3, 3, 1])
+
+    def test_monitor_grow_and_compact_keep_deadzone_counters(self):
+        monitor = DeadZoneMonitor(
+            inner=RangeMonitor.symmetric(0, 0.1), dead_zone_samples=3
+        )
+        core = make_batched(monitor, 2, dt=1.0)
+        # Row 0 violates every step; row 1 stays inside the range.
+        for _ in range(2):
+            core.step(np.array([[0.5], [0.0]]))
+        core.grow(1)
+        # After 2 pre-grow violations, row 0 alarms on its 3rd straight
+        # violation even though the fleet grew in between.
+        alarms = core.step(np.array([[0.5], [0.0], [0.5]]))
+        assert alarms.tolist() == [True, False, False]
+        alarms = core.step(np.array([[0.5], [0.0], [0.5]]))
+        assert alarms.tolist() == [True, False, False]
+        core.compact(np.array([0, 2]))
+        # Row 0 keeps its long violation run; the grown row reaches its
+        # 3rd straight violation on this step.
+        alarms = core.step(np.array([[0.5], [0.5]]))
+        assert alarms.tolist() == [True, True]
+
+    def test_grow_and_compact_validate(self, dcmotor_problem):
+        core = make_batched(dcmotor_problem.static_threshold(0.5), 2)
+        with pytest.raises(ValidationError):
+            core.grow(0)
+        with pytest.raises(ValidationError):
+            core.compact(np.array([1, 0]))  # not strictly increasing
+        with pytest.raises(ValidationError):
+            core.compact(np.array([0, 2]))  # out of range
+
+
+class TestRebind:
+    """Hot parameter swaps on the online wrappers preserve detector state."""
+
+    def test_threshold_rebind_keeps_position(self, dcmotor_problem):
+        T = dcmotor_problem.horizon
+        online = OnlineResidueDetector(ThresholdVector(np.full(T, 10.0)))
+        for _ in range(4):
+            assert not online.step([1.0])
+        values = np.full(T, 10.0)
+        values[4:] = 0.01
+        online.rebind(ThresholdVector(values))
+        assert online.step([1.0])  # compares against position 4, not 0
+        assert online.threshold.values[4] == 0.01
+
+    def test_cusum_rebind_keeps_accumulator(self):
+        online = OnlineCusum(bias=0.1, threshold=100.0)
+        for _ in range(5):
+            online.step([1.0])
+        accumulated = online.statistic
+        assert accumulated > 0
+        online.rebind(CusumDetector(bias=0.5, threshold=100.0))
+        assert online.statistic == accumulated
+        assert online.detector.bias == 0.5
+        with pytest.raises(ValidationError):
+            online.rebind("not a detector")
+
+    def test_chi_square_rebind_swaps_detector(self):
+        online = OnlineChiSquare(innovation_cov=np.eye(1), threshold=100.0)
+        online.step([1.0])
+        replacement = ChiSquareDetector(innovation_cov=np.eye(1), threshold=1e-6)
+        online.rebind(replacement)
+        assert online.detector is replacement
+        assert online.step([1.0])
+        with pytest.raises(ValidationError):
+            online.rebind(CusumDetector(bias=0.1, threshold=1.0))
+
+    def test_monitor_rebind_requires_matching_structure(self):
+        monitor = DeadZoneMonitor(
+            inner=RangeMonitor.symmetric(0, 0.1), dead_zone_samples=3
+        )
+        online = OnlineMonitor(monitor, dt=1.0)
+        online.step([0.5])
+        online.step([0.5])
+        # Structurally identical monitor with a wider range: the dead-zone
+        # run length survives, so the 3rd straight violation still alarms.
+        replacement = DeadZoneMonitor(
+            inner=RangeMonitor.symmetric(0, 0.2), dead_zone_samples=3
+        )
+        online.rebind(replacement)
+        assert online.step([0.5])
+        with pytest.raises(ValidationError):
+            online.rebind(RangeMonitor.symmetric(0, 0.2))
+
+    def test_base_cores_reject_unsupported_rebinding(self, dcmotor_problem):
+        core = make_batched(dcmotor_problem.static_threshold(0.5), 1)
+        with pytest.raises(ValidationError):
+            core.rebind(CusumDetector(bias=0.1, threshold=1.0))

@@ -1,0 +1,86 @@
+"""Tests for the back-pressure-aware buffered sink layer."""
+
+import pytest
+
+from repro.runtime.events import AlarmEvent, InMemorySink, JSONLSink
+from repro.serve import BufferedSink
+from repro.utils.validation import ValidationError
+
+
+def _events(count, start=0):
+    return [AlarmEvent(instance=0, step=start + k, detector="static") for k in range(count)]
+
+
+class TestBlockPolicy:
+    def test_never_loses_events_and_never_deadlocks(self):
+        inner = InMemorySink()
+        sink = BufferedSink(inner, capacity=4, policy="block")
+        # 25 events through a 4-slot queue: overflow forces synchronous
+        # flushes on the producer's own call stack — the emit() calls all
+        # return (nothing to wait on), and every event survives.
+        for batch in range(5):
+            sink.emit(_events(5, start=batch * 5))
+        sink.flush()
+        assert [event.step for event in inner.events] == list(range(25))
+        assert sink.emitted == sink.forwarded == 25
+        assert sink.dropped == 0
+        assert sink.flushes >= 5
+
+    def test_queue_holds_until_capacity(self):
+        inner = InMemorySink()
+        sink = BufferedSink(inner, capacity=10, policy="block")
+        sink.emit(_events(3))
+        assert len(inner.events) == 0 and len(sink) == 3
+        sink.flush()
+        assert len(inner.events) == 3 and len(sink) == 0
+
+
+class TestDropPolicies:
+    def test_drop_oldest_keeps_the_freshest(self):
+        inner = InMemorySink()
+        sink = BufferedSink(inner, capacity=3, policy="drop-oldest")
+        sink.emit(_events(5))
+        assert sink.dropped == 2
+        sink.flush()
+        assert [event.step for event in inner.events] == [2, 3, 4]
+
+    def test_drop_newest_keeps_the_earliest(self):
+        inner = InMemorySink()
+        sink = BufferedSink(inner, capacity=3, policy="drop-newest")
+        sink.emit(_events(5))
+        assert sink.dropped == 2
+        sink.flush()
+        assert [event.step for event in inner.events] == [0, 1, 2]
+
+    def test_counters_stay_accurate_across_batches(self):
+        inner = InMemorySink()
+        sink = BufferedSink(inner, capacity=2, policy="drop-oldest")
+        sink.emit(_events(2))
+        sink.flush()
+        sink.emit(_events(3, start=2))
+        assert sink.emitted == 5
+        assert sink.dropped == 1
+        assert sink.forwarded == 2
+        sink.flush()
+        assert sink.forwarded == 4
+        assert sink.emitted == sink.forwarded + sink.dropped
+
+
+class TestLifecycle:
+    def test_close_flushes_and_closes_inner(self, tmp_path):
+        path = tmp_path / "alarms.jsonl"
+        sink = BufferedSink(JSONLSink(path), capacity=100, policy="block")
+        sink.emit(_events(4))
+        sink.close()
+        assert [event.step for event in JSONLSink.read(path)] == [0, 1, 2, 3]
+
+    def test_empty_flush_is_a_noop(self):
+        sink = BufferedSink(InMemorySink(), capacity=4)
+        assert sink.flush() == 0
+        assert sink.flushes == 0
+
+    def test_unknown_policy_and_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            BufferedSink(InMemorySink(), policy="backoff")
+        with pytest.raises(ValidationError):
+            BufferedSink(InMemorySink(), capacity=0)

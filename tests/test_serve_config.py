@@ -1,0 +1,99 @@
+"""Tests for ServiceConfig and the run_service construction path."""
+
+import pytest
+
+from repro import ServiceConfig, run_service
+from repro.runtime.events import InMemorySink
+from repro.serve import BufferedSink, MonitorService
+from repro.utils.validation import ValidationError
+
+
+class TestServiceConfig:
+    def test_round_trips_through_dict_and_json(self):
+        config = ServiceConfig(
+            case_study="dcmotor",
+            static_thresholds={"static": 0.25},
+            detectors={"cusum": {"name": "cusum", "options": {"bias": 0.1, "threshold": 1.0}}},
+            residue_source="ingest",
+            ring_capacity=16,
+            overflow="drop-newest",
+            auto_drain=False,
+            log_path="/tmp/service.jsonl",
+            flush_every=4,
+            sink_capacity=256,
+            sink_policy="drop-oldest",
+        )
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+        assert ServiceConfig.from_json(config.to_json()) == config
+
+    def test_bare_detector_name_normalised(self):
+        config = ServiceConfig(detectors={"chi": "chi-square"})
+        assert config.detectors == {"chi": {"name": "chi-square", "options": {}}}
+
+    def test_validation_errors(self):
+        with pytest.raises(ValidationError):
+            ServiceConfig(case_study="not-a-case")
+        with pytest.raises(ValidationError):
+            ServiceConfig(residue_source="oracle")
+        with pytest.raises(ValidationError):
+            ServiceConfig(overflow="explode")
+        with pytest.raises(ValidationError):
+            ServiceConfig(ring_capacity=0)
+        with pytest.raises(ValidationError):
+            ServiceConfig(flush_every=-1)
+        with pytest.raises(ValidationError):
+            ServiceConfig(sink_capacity=0)
+        with pytest.raises(ValidationError):
+            ServiceConfig(sink_policy="wait")
+        with pytest.raises(ValidationError):
+            ServiceConfig(detectors={"x": {"name": "no-such-detector"}})
+        with pytest.raises(ValidationError):
+            ServiceConfig.from_dict({"ring_size": 8})
+
+    def test_unknown_detector_entry_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            ServiceConfig(detectors={"x": {"name": "cusum", "opts": {}}})
+
+
+class TestRunService:
+    def test_builds_service_from_case_study_name(self):
+        config = ServiceConfig(case_study="dcmotor", static_thresholds={"static": 0.5})
+        service = run_service(config)
+        assert isinstance(service, MonitorService)
+        assert set(service.detectors) == {"static", "mdc"}
+        assert service.log.events[0].kind == "start"
+        assert service.log.events[0].data["metadata"]["config"] == config.to_dict()
+
+    def test_needs_a_problem_and_a_detector(self, dcmotor_problem):
+        with pytest.raises(ValidationError):
+            run_service(ServiceConfig(static_thresholds={"static": 0.5}))
+        with pytest.raises(ValidationError):
+            run_service(ServiceConfig(include_mdc=False), problem=dcmotor_problem)
+
+    def test_sink_capacity_wraps_sinks_in_buffers(self, dcmotor_problem):
+        inner = InMemorySink()
+        config = ServiceConfig(
+            static_thresholds={"static": 0.5},
+            sink_capacity=8,
+            sink_policy="drop-oldest",
+        )
+        service = run_service(config, problem=dcmotor_problem, sinks=[inner])
+        (sink,) = service.sinks
+        assert isinstance(sink, BufferedSink)
+        assert sink.inner is inner
+        assert (sink.capacity, sink.policy) == (8, "drop-oldest")
+
+    def test_extra_detectors_merge_and_collisions_raise(self, dcmotor_problem):
+        config = ServiceConfig(static_thresholds={"static": 0.5}, include_mdc=False)
+        service = run_service(
+            config,
+            problem=dcmotor_problem,
+            detectors={"extra": dcmotor_problem.static_threshold(1.0)},
+        )
+        assert set(service.detectors) == {"static", "extra"}
+        with pytest.raises(ValidationError):
+            run_service(
+                config,
+                problem=dcmotor_problem,
+                detectors={"static": dcmotor_problem.static_threshold(1.0)},
+            )

@@ -1,0 +1,162 @@
+"""Tests for the service event log and the deterministic replay driver."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ServiceConfig, replay, run_service
+from repro.detectors.threshold import ThresholdVector
+from repro.runtime.events import InMemorySink
+from repro.serve import MonitorService, ServiceEvent, ServiceLog
+from repro.utils.validation import ValidationError
+
+
+class TestServiceEvent:
+    def test_round_trips_through_dict(self):
+        event = ServiceEvent(
+            seq=4, kind="alarm", instance=2, step=9, data={"detector": "static"}
+        )
+        assert ServiceEvent.from_dict(event.to_dict()) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            ServiceEvent(seq=0, kind="mystery")
+
+
+class TestServiceLog:
+    def test_in_memory_append_assigns_sequence(self):
+        log = ServiceLog()
+        first = log.append("start")
+        second = log.append("attach", instance=0)
+        assert (first.seq, second.seq) == (0, 1)
+        assert len(log) == 2 and list(log) == [first, second]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "service.jsonl"
+        with ServiceLog(path) as log:
+            log.append("start", data={"metadata": {"x": 1}})
+            log.append("measurement", instance=0, data={"measurement": [0.5]})
+        loaded = ServiceLog.read(path)
+        assert loaded == log.events
+
+    def test_truncated_tail_dropped_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "service.jsonl"
+        with ServiceLog(path) as log:
+            for _ in range(3):
+                log.append("round")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "ro')  # killed mid-append
+        assert len(ServiceLog.read(path)) == 3
+
+        lines = path.read_text().splitlines()
+        lines[1] = "{corrupt interior}"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            ServiceLog.read(path)
+
+    def test_negative_flush_every_rejected(self):
+        with pytest.raises(ValidationError):
+            ServiceLog(flush_every=-1)
+
+
+def _drive(service, problem, steps=15, seed=0):
+    """Attach two instances and push a fixed random measurement stream."""
+    rng = np.random.default_rng(seed)
+    m = problem.system.plant.n_outputs
+    a = service.attach()
+    b = service.attach()
+    for k in range(steps):
+        service.ingest(a, rng.normal(size=m))
+        service.ingest(b, rng.normal(size=m))
+        if k == steps // 2:
+            service.detach(a)
+            a = service.attach()
+    return service
+
+
+class TestReplay:
+    def test_replay_reproduces_alarms_bit_identically(self, dcmotor_problem):
+        config = ServiceConfig(static_thresholds={"static": 0.5})
+        sink = InMemorySink()
+        service = _drive(
+            run_service(config, problem=dcmotor_problem, sinks=[sink]), dcmotor_problem
+        )
+        assert sink.events, "the scenario must raise alarms"
+        result = replay(service.log, problem=dcmotor_problem)
+        assert result.matches
+        assert result.recorded == list(sink.events)
+
+    def test_replay_standalone_from_log_file(self, tmp_path):
+        # With case_study in the config, the recorded file is self-contained:
+        # replay rebuilds problem, bank and service with no other context.
+        path = tmp_path / "service.jsonl"
+        config = ServiceConfig(
+            case_study="dcmotor", static_thresholds={"static": 0.5}, log_path=str(path)
+        )
+        service = run_service(config)
+        from repro import get_case_study
+
+        _drive(service, get_case_study("dcmotor").problem)
+        service.close()
+        result = replay(path)
+        assert result.matches and result.recorded
+
+    def test_replay_reproduces_drop_oldest_evictions(self, dcmotor_problem):
+        config = ServiceConfig(
+            static_thresholds={"static": 0.5},
+            ring_capacity=2,
+            overflow="drop-oldest",
+            auto_drain=False,
+        )
+        service = run_service(config, problem=dcmotor_problem)
+        service.attach()
+        rng = np.random.default_rng(1)
+        m = dcmotor_problem.system.plant.n_outputs
+        for _ in range(5):
+            service.ingest(0, rng.normal(size=m) * 2)
+        service.drain()  # only the 2 surviving samples
+        assert service.rounds_processed == 2 and service.samples_dropped == 3
+        result = replay(service.log, problem=dcmotor_problem)
+        assert result.matches
+        assert result.service.samples_dropped == 3
+
+    def test_replay_reapplies_threshold_swaps(self, dcmotor_problem):
+        config = ServiceConfig(static_thresholds={"static": 10.0})
+        service = run_service(config, problem=dcmotor_problem)
+        service.attach()
+        rng = np.random.default_rng(2)
+        m = dcmotor_problem.system.plant.n_outputs
+        for _ in range(5):
+            service.ingest(0, rng.normal(size=m))
+        service.swap_thresholds(
+            {"static": ThresholdVector(np.full(dcmotor_problem.horizon, 1e-6))}
+        )
+        for _ in range(5):
+            service.ingest(0, rng.normal(size=m))
+        result = replay(service.log, problem=dcmotor_problem)
+        assert result.matches
+        # The swap must actually have fired alarms post-swap.
+        assert {event.step for event in result.recorded} >= {5}
+
+    def test_monitor_swaps_are_not_replayable(self, dcmotor_problem):
+        service = MonitorService(
+            dcmotor_problem.system,
+            {"mdc": dcmotor_problem.mdc, "static": dcmotor_problem.static_threshold(0.5)},
+        )
+        service.attach()
+        service.swap_thresholds({"mdc": dcmotor_problem.mdc})
+        fresh = MonitorService(
+            dcmotor_problem.system,
+            {"mdc": dcmotor_problem.mdc, "static": dcmotor_problem.static_threshold(0.5)},
+        )
+        with pytest.raises(ValidationError):
+            replay(service.log, service=fresh)
+
+    def test_log_without_config_needs_an_explicit_service(self, dcmotor_problem):
+        service = MonitorService(
+            dcmotor_problem.system, {"static": dcmotor_problem.static_threshold(0.5)}
+        )
+        service.attach()
+        with pytest.raises(ValidationError):
+            replay(service.log)
