@@ -59,6 +59,10 @@ def test_service_ingest_throughput(benchmark):
     assert stats["samples_ingested"] == instance_steps
     assert stats["samples_dropped"] == 0
     service.close()
+    benchmark.extra_info["instance_steps"] = instance_steps
+    if not benchmark.disabled:
+        benchmark.extra_info["throughput"] = instance_steps / elapsed
+        benchmark.extra_info["elapsed_s"] = elapsed
     # Wall-clock gates only bind in real benchmark runs; the CI smoke job
     # (--benchmark-disable) runs on shared machines where they'd flake.
     if not benchmark.disabled:

@@ -33,6 +33,8 @@ from repro.core.far import FalseAlarmStudy
 from repro.core.relaxation import RelaxationResult
 from repro.core.session import SynthesisSession
 from repro.core.synthesis_result import ThresholdSynthesisResult
+from repro.obs.metrics import get_registry, timed
+from repro.obs.trace import span
 
 #: FAR-study label suffix under which the pre-relaxation vector is evaluated
 #: when a ``relax`` stage is configured (``"<algorithm>:raw"``).
@@ -382,6 +384,11 @@ def run_pipeline(
 
     fresh = [name for name in synthesis.algorithms if name not in presynthesized]
 
+    stage_seconds = get_registry().histogram(
+        "pipeline_stage_seconds",
+        help="Wall time per run_pipeline stage (vulnerability, synthesis, far).",
+    )
+
     solver = None
     session = None
     if fresh or backend is not None:
@@ -391,13 +398,16 @@ def run_pipeline(
         # are built once per call.
         session = SynthesisSession(problem, backend=solver)
 
-    if session is not None:
-        vulnerability = session.solve(None)
-    else:
-        # Every algorithm is presynthesized: the stored vulnerability verdict
-        # rides along with each record (same problem, same backend).
-        first = presynthesized[synthesis.algorithms[0]]
-        vulnerability = _vulnerability_from_payload(first["vulnerability"])
+    with span("pipeline.vulnerability", problem=problem.name):
+        with timed(stage_seconds, stage="vulnerability"):
+            if session is not None:
+                vulnerability = session.solve(None)
+            else:
+                # Every algorithm is presynthesized: the stored vulnerability
+                # verdict rides along with each record (same problem, same
+                # backend).
+                first = presynthesized[synthesis.algorithms[0]]
+                vulnerability = _vulnerability_from_payload(first["vulnerability"])
     report = PipelineReport(vulnerability=vulnerability)
 
     relaxer = synthesis.build_relaxer(backend=solver) if fresh else None
@@ -409,21 +419,24 @@ def run_pipeline(
             if relaxed is not None:
                 report.relaxation[name] = relaxed
             continue
-        synthesizer = synthesis.build_synthesizer(name, backend=solver)
-        # Third-party synthesizers registered into SYNTHESIZERS may predate
-        # the session protocol; only pass the shared session when accepted.
-        if "session" in inspect.signature(synthesizer.synthesize).parameters:
-            result = synthesizer.synthesize(problem, session=session)
-        else:
-            result = synthesizer.synthesize(problem)
-        report.synthesis[name] = result
-        if relaxer is not None and result.threshold is not None:
-            report.relaxation[name] = relaxer.relax(
-                problem,
-                result.threshold,
-                verify_input=synthesis.relax.verify_input,
-                session=session,
-            )
+        with span("pipeline.synthesis", problem=problem.name, algorithm=name):
+            with timed(stage_seconds, stage="synthesis"):
+                synthesizer = synthesis.build_synthesizer(name, backend=solver)
+                # Third-party synthesizers registered into SYNTHESIZERS may
+                # predate the session protocol; only pass the shared session
+                # when accepted.
+                if "session" in inspect.signature(synthesizer.synthesize).parameters:
+                    result = synthesizer.synthesize(problem, session=session)
+                else:
+                    result = synthesizer.synthesize(problem)
+                report.synthesis[name] = result
+                if relaxer is not None and result.threshold is not None:
+                    report.relaxation[name] = relaxer.relax(
+                        problem,
+                        result.threshold,
+                        verify_input=synthesis.relax.verify_input,
+                        session=session,
+                    )
 
     if far is not None and far.count > 0 and report.synthesis:
         detectors = {}
@@ -436,8 +449,10 @@ def run_pipeline(
             if name in report.relaxation and raw is not None:
                 detectors[name + RAW_FAR_SUFFIX] = raw
         if detectors:
-            evaluator = far.build_evaluator(problem, noise_model=far_noise_model)
-            report.far_study = evaluator.evaluate(detectors)
+            with span("pipeline.far", problem=problem.name):
+                with timed(stage_seconds, stage="far"):
+                    evaluator = far.build_evaluator(problem, noise_model=far_noise_model)
+                    report.far_study = evaluator.evaluate(detectors)
 
     if store_key is not None:
         # No flush: the JSONL log is durable per record and the index

@@ -39,12 +39,14 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.api.config import ExperimentSpec, ExperimentUnit, FARConfig, SynthesisConfig, _checked_fields
 from repro.api.execute import run_pipeline, synthesis_record
+from repro.obs.metrics import MetricsRegistry, get_registry, metrics_enabled, use_registry
 from repro.registry import CASE_STUDIES
 from repro.utils.validation import ValidationError
 
@@ -364,7 +366,28 @@ def _execute_group(group: dict, case=None) -> dict:
     to build from the group's options.  Probe failures only void the probe
     metrics of the affected row (``metrics["probe_error"]``), never the
     synthesis outcome.
+
+    When metrics are enabled (pool workers inherit the enabled flag at
+    fork), the group runs inside a *fresh scoped registry* whose snapshot
+    ships back on ``result["metrics"]`` — one registry per group, so a
+    long-lived worker never double-counts across groups and the parent can
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge` every group exactly
+    once.  ``result["elapsed_s"]`` carries the group's wall time for the
+    parent's utilization accounting either way.
     """
+    started = time.perf_counter()
+    if metrics_enabled():
+        with use_registry(MetricsRegistry(enabled=True)) as scoped:
+            result = _execute_group_body(group, case)
+            result["metrics"] = scoped.snapshot()
+    else:
+        result = _execute_group_body(group, case)
+    result["elapsed_s"] = time.perf_counter() - started
+    return result
+
+
+def _execute_group_body(group: dict, case=None) -> dict:
+    """The uninstrumented group execution behind :func:`_execute_group`."""
     algorithms = list(group["algorithms"])
     far = group.get("far")
     probe = group.get("probe")
@@ -512,6 +535,21 @@ class BatchRunner:
         """
         from repro.explore.store import synthesis_store_key, unit_store_key
 
+        registry = get_registry()
+        registry.counter(
+            "batch_units_total", help="Experiment units submitted to run_units."
+        ).inc(len(units))
+        store_hits = registry.counter(
+            "batch_store_hits_total", help="Units served whole from the result store."
+        )
+        store_misses = registry.counter(
+            "batch_store_misses_total", help="Units that had to execute (store miss)."
+        )
+        synthesis_reuse = registry.counter(
+            "batch_synthesis_reuse_total",
+            help="Units whose synthesis half was reused from the store.",
+        )
+
         keys: list[str | None] = []
         rows: dict[int, ExperimentRow] = {}
         pending: list[tuple[int, ExperimentUnit]] = []
@@ -522,7 +560,10 @@ class BatchRunner:
             cached = self.store.get(key) if self.store is not None else None
             if cached is not None:
                 rows[index] = ExperimentRow.from_dict(cached)
+                store_hits.inc()
                 continue
+            if self.store is not None:
+                store_misses.inc()
             record = None
             if self.store is not None:
                 # ``peek``: a synthesis-half reuse is not a row hit, so it
@@ -530,6 +571,7 @@ class BatchRunner:
                 record = self.store.peek(synthesis_store_key(unit.to_dict()))
                 if record is not None:
                     self.synthesis_reused += 1
+                    synthesis_reuse.inc()
             pending.append((index, unit))
             presynthesized.append(record)
 
@@ -579,6 +621,12 @@ class BatchRunner:
         rows: list[ExperimentRow | None] = [None] * len(units)
         if not units:
             return rows
+        registry = get_registry()
+        group_seconds = registry.histogram(
+            "batch_group_seconds", help="Wall time per executed unit group."
+        )
+        busy_seconds = 0.0
+        started = time.perf_counter()
         grouped = _group_units(units)
         if presynthesized is not None and any(presynthesized):
             for payload, indices in grouped:
@@ -592,6 +640,17 @@ class BatchRunner:
         payloads = [payload for payload, _ in grouped]
 
         def deliver(indices: list[int], result: dict) -> None:
+            nonlocal busy_seconds
+            elapsed = result.get("elapsed_s")
+            if elapsed is not None:
+                busy_seconds += elapsed
+                group_seconds.observe(elapsed)
+            # Each group ran inside its own scoped registry (fresh per group,
+            # whether in-process or in a pool worker); merging its snapshot
+            # here folds worker telemetry into the parent exactly once.
+            shipped = result.get("metrics")
+            if shipped is not None:
+                registry.merge(shipped)
             records = result.get("synthesis_records", {})
             for index, row_dict in zip(indices, result["rows"]):
                 row = ExperimentRow.from_dict(row_dict)
@@ -599,12 +658,14 @@ class BatchRunner:
                 if on_result is not None:
                     on_result(index, row, records.get(row.algorithm))
 
+        pool_size = 1
         if self.workers >= 2 and len(payloads) > 1:
             try:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX fallback
                 context = multiprocessing.get_context("spawn")
-            with context.Pool(processes=min(self.workers, len(payloads))) as pool:
+            pool_size = min(self.workers, len(payloads))
+            with context.Pool(processes=pool_size) as pool:
                 for (_, indices), result in zip(
                     grouped, pool.imap(_execute_group, payloads)
                 ):
@@ -627,6 +688,17 @@ class BatchRunner:
                     except Exception as exc:  # noqa: BLE001 - recorded per-row below
                         cases[cache_key] = exc
                 deliver(indices, _execute_group(payload, case=cases[cache_key]))
+        wall = time.perf_counter() - started
+        registry.gauge(
+            "batch_workers", help="Pool size of the last _execute_units call."
+        ).set(pool_size)
+        if wall > 0:
+            # Fraction of the pool's capacity spent inside groups: summed
+            # per-group wall time over (batch wall x pool size).
+            registry.gauge(
+                "batch_worker_utilization",
+                help="Busy fraction of the worker pool over the last batch.",
+            ).set(busy_seconds / (wall * pool_size))
         return rows
 
 

@@ -34,6 +34,8 @@ from repro.core.problem import SynthesisProblem
 from repro.detectors.threshold import ThresholdVector
 from repro.falsification.registry import get_backend
 from repro.lti.simulate import SimulationTrace
+from repro.obs.metrics import get_registry, timed
+from repro.obs.trace import span
 from repro.utils.results import SolveStatus
 
 
@@ -116,8 +118,20 @@ class SynthesisSession:
         self.problem = problem
         self.solver = get_backend(backend, **backend_kwargs)
         self.verify = bool(verify)
-        self.encoding = AttackEncoding(problem=problem, threshold=None)
-        self._backend_session = self.solver.open_session(self.encoding)
+        registry = get_registry()
+        backend_name = getattr(self.solver, "name", str(backend))
+        build_seconds = registry.histogram(
+            "synthesis_encoding_build_seconds",
+            help="Wall time to build the static encoding and open a backend session.",
+        )
+        with span("synthesis.encode", problem=problem.name, backend=backend_name):
+            with timed(build_seconds, backend=backend_name):
+                self.encoding = AttackEncoding(problem=problem, threshold=None)
+                self._backend_session = self.solver.open_session(self.encoding)
+        registry.counter(
+            "synthesis_sessions_total",
+            help="Synthesis sessions opened (one static encoding built each).",
+        ).inc(backend=backend_name)
         self.solves = 0
         # The detector-free query (threshold None) is issued by the pipeline's
         # vulnerability check *and* as round one of every synthesis loop; the
@@ -146,17 +160,32 @@ class SynthesisSession:
         """
         start = time.monotonic()
         verify = self.verify if verify is None else verify
+        registry = get_registry()
+        backend_name = getattr(self.solver, "name", "?")
         if threshold is None:
             cached = self._none_cache.get(verify)
             if cached is not None:
                 self.solves += 1
+                registry.counter(
+                    "synthesis_memo_hits_total",
+                    help="Detector-free solves served from the session memo.",
+                ).inc(backend=backend_name)
                 # Fresh shell per hit: callers own their result's ``elapsed``
                 # (charging the original solve time again would double-count
                 # wall clock in per-algorithm totals) and may overwrite it.
                 return replace(cached, elapsed=time.monotonic() - start)
-        answer = self._backend_session.solve(threshold, time_budget=time_budget)
+        with span("synthesis.solve", problem=self.problem.name, backend=backend_name):
+            answer = self._backend_session.solve(threshold, time_budget=time_budget)
         self.solves += 1
         elapsed = time.monotonic() - start
+        registry.histogram(
+            "synthesis_solve_seconds",
+            help="Backend solve time per Algorithm 1 round.",
+        ).observe(elapsed, backend=backend_name, problem=self.problem.name)
+        registry.counter(
+            "synthesis_solves_total",
+            help="Algorithm 1 rounds solved, by backend and outcome.",
+        ).inc(backend=backend_name, status=answer.status.name)
 
         if not answer.found_attack:
             result = AttackSynthesisResult(

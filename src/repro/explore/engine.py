@@ -35,6 +35,8 @@ from repro.api.runner import BatchRunner, ExperimentRow
 from repro.explore.report import ExplorationReport
 from repro.explore.space import DEFAULT_OBJECTIVES, ExplorePoint, SearchSpace
 from repro.explore.store import ResultStore, as_store, canonical_config_key
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.registry import SAMPLERS
 from repro.utils.validation import ValidationError
 
@@ -213,6 +215,21 @@ class Explorer:
         hits_before = self.store.hits if self.store is not None else 0
         misses_before = self.store.misses if self.store is not None else 0
 
+        registry = get_registry()
+        points_counter = registry.counter(
+            "explore_points_total", help="Design points accepted for evaluation."
+        )
+        units_counter = registry.counter(
+            "explore_units_total", help="Units lowered from design points."
+        )
+        rounds_counter = registry.counter(
+            "explore_rounds_total", help="Sampler rounds (initial + refinements)."
+        )
+        proposals_counter = registry.counter(
+            "explore_proposals_total",
+            help="Points proposed by the sampler, duplicates included.",
+        )
+
         rows: list[dict] = []
         seen: set[ExplorePoint] = set()
         stats = {
@@ -225,6 +242,7 @@ class Explorer:
 
         pending = sampler.initial(self.space)
         while pending:
+            proposals_counter.inc(len(pending), sampler=self.sampler)
             batch = [point for point in pending if point not in seen]
             if not batch:
                 break
@@ -239,6 +257,8 @@ class Explorer:
             seen.update(batch)
             stats["points"] += len(batch)
             stats["rounds"] += 1
+            points_counter.inc(len(batch), sampler=self.sampler)
+            rounds_counter.inc(sampler=self.sampler)
 
             # Points differing only in far_budget lower to the same unit:
             # evaluate once, emit one row per point.
@@ -257,10 +277,13 @@ class Explorer:
                     grouped_points[index].append(point)
             stats["units"] += len(units)
 
+            units_counter.inc(len(units), sampler=self.sampler)
+
             # A store miss inside run_units is exactly a fresh execution
             # (error rows included; they also re-run on resume).
             batch_misses = self.store.misses if self.store is not None else 0
-            pairs = runner.run_units(units)
+            with span("explore.round", sampler=self.sampler, round=stats["rounds"]):
+                pairs = runner.run_units(units)
             stats["units_executed"] += (
                 self.store.misses - batch_misses if self.store is not None else len(units)
             )

@@ -1,0 +1,81 @@
+"""`repro.obs`: unified metrics, tracing, and export across every layer.
+
+One telemetry vocabulary for the whole reproduction — synthesis sessions,
+batch runners, the explorer, the fleet simulator, and the always-on
+monitoring service all record into the same process-local
+:class:`MetricsRegistry` and :class:`Tracer`:
+
+* :mod:`repro.obs.metrics` — labelled counters, gauges, and fixed-bucket
+  histograms with a near-zero disabled path, plus ``snapshot()``/``merge()``
+  so multiprocessing workers ship their registries home with result rows;
+* :mod:`repro.obs.trace` — nested ``span(name, **labels)`` blocks with
+  wall/CPU durations, crash-tolerant JSONL export, and text tree /
+  folded-stack flamegraph renderings;
+* :mod:`repro.obs.export` — Prometheus text exposition (losslessly
+  parseable back into a snapshot), atomic JSON snapshot files, and a
+  :class:`PeriodicScraper` hook for long-running loops.
+
+Everything is opt-in: the default registry and tracer start disabled
+(``REPRO_METRICS=1`` / ``REPRO_TRACE=<path>`` environment variables or
+:func:`enable_metrics` / :func:`enable_tracing` turn them on), and the
+disabled path is cheap enough to leave compiled into hot loops — the fleet
+benchmark gate runs with instrumentation present.
+"""
+
+from repro.obs.export import (
+    PeriodicScraper,
+    parse_prometheus_text,
+    prometheus_text,
+    read_json_snapshot,
+    text_report,
+    write_json_snapshot,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    timed,
+    use_registry,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PeriodicScraper",
+    "SpanRecord",
+    "Tracer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "metrics_enabled",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_json_snapshot",
+    "span",
+    "text_report",
+    "timed",
+    "use_registry",
+    "use_tracer",
+    "write_json_snapshot",
+]

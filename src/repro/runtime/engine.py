@@ -167,6 +167,7 @@ def run_fleet(
     detectors: Mapping[str, object] | None = None,
     attacks: Sequence[ScheduledAttack] = (),
     sinks: Sequence[EventSink] = (),
+    metrics=None,
 ) -> FleetReport:
     """Deploy synthesized and baseline detectors on a monitored fleet.
 
@@ -187,6 +188,12 @@ def run_fleet(
         schedule.
     sinks:
         Extra event sinks in addition to the config's ``events_path``.
+    metrics:
+        Telemetry wiring forwarded to :class:`FleetSimulator`: ``None``
+        records into the process-wide registry (disabled by default),
+        ``False`` compiles the instrumentation out, a
+        :class:`~repro.obs.metrics.MetricsRegistry` records into that
+        registry unconditionally.
 
     Returns
     -------
@@ -230,6 +237,7 @@ def run_fleet(
         sinks=all_sinks,
         seed=config.seed,
         record_traces=config.record_traces,
+        metrics=metrics,
     )
     try:
         report = simulator.run()

@@ -33,6 +33,8 @@ import numpy as np
 from repro.attacks.templates import AttackTemplate
 from repro.lti.simulate import ClosedLoopSystem, SimulationTrace
 from repro.noise.models import GaussianNoise, NoiseModel
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import span
 from repro.runtime.batch import BatchDetector, make_batched
 from repro.runtime.events import AlarmEvent, EventSink
 from repro.runtime.report import FleetReport, build_detector_stats
@@ -374,6 +376,14 @@ class FleetSimulator:
     record_traces:
         Keep the full :class:`FleetTrace` on :attr:`trace` after :meth:`run`
         (off by default: a streaming run needs only ``O(N)`` memory).
+    metrics:
+        Telemetry wiring.  ``None`` (default) records into the process-wide
+        registry from :func:`repro.obs.metrics.get_registry` — which is
+        disabled by default, so the only hot-path cost is a no-op counter
+        call on steps that alarm.  ``False`` compiles the instrumentation
+        out entirely (the baseline of the overhead benchmark).  A
+        :class:`~repro.obs.metrics.MetricsRegistry` instance records into
+        that registry regardless of the global flag.
     """
 
     def __init__(
@@ -392,8 +402,10 @@ class FleetSimulator:
         sinks: Sequence[EventSink] = (),
         seed: int | None = 0,
         record_traces: bool = False,
+        metrics: MetricsRegistry | None | bool = None,
     ):
         self.system = system
+        self.metrics = metrics
         self.n_instances = int(check_positive("n_instances", n_instances))
         self.horizon = int(check_positive("horizon", horizon))
         self.include_process_noise = bool(include_process_noise)
@@ -480,6 +492,18 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     def run(self) -> FleetReport:
         """Step the whole fleet through the horizon and aggregate the report."""
+        if self.metrics is False:
+            return self._run()
+        with span(
+            "fleet.run",
+            system=self.system.name,
+            n_instances=self.n_instances,
+            horizon=self.horizon,
+        ):
+            return self._run()
+
+    def _run(self) -> FleetReport:
+        """The :meth:`run` body (split out so the span wrapper stays thin)."""
         plant = self.system.plant
         T, N = self.horizon, self.n_instances
         n, m, p = plant.n_states, plant.n_outputs, plant.n_inputs
@@ -521,6 +545,23 @@ class FleetSimulator:
             recorder["estimates"][:, 0] = stepper.Xhat
             recorder["inputs"][:, 0] = stepper.U
 
+        # Instruments are resolved once, outside the loop; ``metrics=False``
+        # removes them entirely (the overhead benchmark's baseline), and the
+        # default disabled registry reduces each surviving call to one
+        # attribute check.  The only per-step call sits on the alarm branch,
+        # which is already off the fast no-alarm path.
+        registry = None
+        alarms_counter = None
+        if self.metrics is not False:
+            registry = (
+                self.metrics
+                if isinstance(self.metrics, MetricsRegistry)
+                else get_registry()
+            )
+            alarms_counter = registry.counter(
+                "fleet_alarms_total", help="Detector alarms fired during fleet runs."
+            )
+
         started = time.perf_counter()
         for k in range(T):
             attack_k = None
@@ -539,6 +580,8 @@ class FleetSimulator:
                 if not fired:
                     continue
                 alarm_counts[label] += fired
+                if alarms_counter is not None:
+                    alarms_counter.inc(fired, detector=label)
                 benign_alarm_steps[label] += int(np.count_nonzero(alarms & benign_mask))
                 newly = alarms & (first_alarm[label] < 0)
                 first_alarm[label][newly] = k
@@ -567,6 +610,22 @@ class FleetSimulator:
                 recorder["estimates"][:, k + 1] = stepper.Xhat
                 recorder["inputs"][:, k + 1] = stepper.U
         elapsed = time.perf_counter() - started
+
+        if registry is not None:
+            registry.counter(
+                "fleet_steps_total", help="Instance-steps executed by fleet runs."
+            ).inc(N * T)
+            registry.counter(
+                "fleet_runs_total", help="Completed FleetSimulator.run calls."
+            ).inc()
+            registry.histogram(
+                "fleet_run_seconds", help="Wall time per FleetSimulator.run call."
+            ).observe(elapsed, system=self.system.name)
+            if elapsed > 0:
+                registry.gauge(
+                    "fleet_throughput_steps_per_s",
+                    help="Instance-steps per second of the last fleet run.",
+                ).set(N * T / elapsed, system=self.system.name)
 
         if recorder is not None:
             self.trace = FleetTrace(

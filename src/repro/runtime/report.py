@@ -105,9 +105,15 @@ class FleetReport:
 
     @property
     def throughput(self) -> float:
-        """Instance-steps per second of the stepping loop."""
+        """Instance-steps per second of the stepping loop.
+
+        ``NaN`` when ``elapsed_seconds`` is zero or negative: a report built
+        without a measured run has no meaningful rate, and NaN (unlike the
+        former ``inf``) poisons any aggregate that accidentally includes it
+        and fails every ``>`` gate instead of passing vacuously.
+        """
         if self.elapsed_seconds <= 0:
-            return float("inf")
+            return float("nan")
         return self.instance_steps / self.elapsed_seconds
 
     def stats(self, label: str) -> DetectorFleetStats:

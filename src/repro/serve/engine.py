@@ -31,6 +31,8 @@ def run_service(
     *,
     sinks: Sequence[EventSink] = (),
     detectors: Mapping[str, object] | None = None,
+    metrics=None,
+    scraper=None,
 ) -> MonitorService:
     """Build a :class:`~repro.serve.service.MonitorService` from a config.
 
@@ -48,6 +50,12 @@ def run_service(
         ``config.sink_capacity`` is set.
     detectors:
         Extra label → detector entries merged into the configured bank.
+    metrics / scraper:
+        Passed through to :class:`~repro.serve.service.MonitorService` —
+        a shared :class:`~repro.obs.metrics.MetricsRegistry` and an optional
+        :class:`~repro.obs.export.PeriodicScraper` exposition hook.  These
+        are live objects, which is why they ride here rather than on the
+        JSON-serializable :class:`~repro.api.config.ServiceConfig`.
 
     Returns
     -------
@@ -76,6 +84,8 @@ def run_service(
         sinks=wired,
         log=log,
         metadata={"config": config.to_dict(), "problem": problem.name},
+        metrics=metrics,
+        scraper=scraper,
     )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import copy
 import threading
+import time
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.runtime.batch import (
     BatchThresholdDetector,
     make_batched,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.events import AlarmEvent, EventSink
 from repro.serve.log import ServiceLog
 from repro.serve.observer import BatchObserver
@@ -159,6 +161,19 @@ class MonitorService:
     metadata:
         Carried into the log's ``"start"`` event; :func:`run_service` stores
         the originating config here so logs are replayable standalone.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the service records
+        into.  ``None`` (default) gives the service its own always-enabled
+        private registry — the service's counters are its operational state,
+        so :meth:`stats` must work whether or not process-wide telemetry is
+        on.  Pass a shared registry to fold serve metrics into a combined
+        exposition (note a *disabled* shared registry records nothing and
+        :meth:`stats` would read zeros).
+    scraper:
+        Optional :class:`~repro.obs.export.PeriodicScraper`; its
+        ``maybe_scrape`` hook runs after every processed round and a final
+        unconditional scrape happens on :meth:`close`, making the service a
+        file-backed Prometheus scrape target.
     """
 
     def __init__(
@@ -174,6 +189,8 @@ class MonitorService:
         log: ServiceLog | None = None,
         xhat0: np.ndarray | None = None,
         metadata: dict | None = None,
+        metrics: MetricsRegistry | None = None,
+        scraper=None,
     ):
         if residue_source not in RESIDUE_SOURCES:
             raise ValidationError(
@@ -226,11 +243,43 @@ class MonitorService:
         }
         self._next_id = 0
 
-        self.samples_ingested = 0
-        self.samples_dropped = 0
-        self.rounds_processed = 0
-        self.alarms_emitted = 0
-        self.swaps_applied = 0
+        # The service's counters live in a metrics registry (private and
+        # always-enabled unless one is injected); the historical plain-int
+        # attributes are read-only properties over it below.
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=True)
+        self.scraper = scraper
+        self._started_monotonic = time.monotonic()
+        self._c_ingested = self.metrics.counter(
+            "serve_samples_ingested_total", help="Samples accepted into ring buffers."
+        )
+        self._c_dropped = self.metrics.counter(
+            "serve_samples_dropped_total", help="Samples dropped by overflow policy."
+        )
+        self._c_rounds = self.metrics.counter(
+            "serve_rounds_total", help="Lockstep rounds processed."
+        )
+        self._c_alarms = self.metrics.counter(
+            "serve_alarms_total", help="Alarm events emitted, by detector."
+        )
+        self._c_swaps = self.metrics.counter(
+            "serve_swaps_total", help="Hot threshold swaps applied."
+        )
+        self._c_attach = self.metrics.counter(
+            "serve_attach_total", help="Instance attachments."
+        )
+        self._c_detach = self.metrics.counter(
+            "serve_detach_total", help="Instance detachments."
+        )
+        self._g_members = self.metrics.gauge(
+            "serve_members", help="Currently attached instances."
+        )
+        self._g_ingest_rate = self.metrics.gauge(
+            "serve_ingest_rate_per_s",
+            help="Samples ingested per second of service uptime.",
+        )
+        self._h_round = self.metrics.histogram(
+            "serve_round_seconds", help="Wall time per lockstep round."
+        )
 
         self.log.append(
             "start",
@@ -282,6 +331,8 @@ class MonitorService:
             self._local_steps.append(0)
             for label in self._alarmed:
                 self._alarmed[label] = np.append(self._alarmed[label], False)
+            self._c_attach.inc()
+            self._g_members.set(len(self._ids))
             self.log.append(
                 "attach",
                 instance=instance_id,
@@ -318,6 +369,8 @@ class MonitorService:
             self._rows = {identity: r for r, identity in enumerate(self._ids)}
             for label in self._alarmed:
                 self._alarmed[label] = self._alarmed[label][keep]
+            self._c_detach.inc()
+            self._g_members.set(len(self._ids))
             self.log.append(
                 "detach", instance=int(instance_id), data={"pending_dropped": pending}
             )
@@ -382,14 +435,14 @@ class MonitorService:
                         f"({self.ring_capacity} pending samples)"
                     )
                 if self.overflow == "drop-newest":
-                    self.samples_dropped += 1
+                    self._c_dropped.inc(policy="drop-newest")
                     return False
                 ring.drop_oldest()
-                self.samples_dropped += 1
+                self._c_dropped.inc(policy="drop-oldest")
             if not len(ring):
                 self._ready += 1
             ring.push(sample)
-            self.samples_ingested += 1
+            self._c_ingested.inc()
             data = {"measurement": [float(v) for v in measurement]}
             if self.residue_source == "ingest":
                 data["residue"] = [float(v) for v in sample[self._n_outputs :]]
@@ -426,6 +479,7 @@ class MonitorService:
 
     def _process_round(self) -> None:
         """Pop one sample per instance and step every detector once."""
+        round_started = time.perf_counter()
         self.log.append("round", data={"members": list(self._ids)})
         block = np.stack([ring.pop() for ring in self._rings])
         self._ready -= sum(1 for ring in self._rings if not len(ring))
@@ -456,10 +510,14 @@ class MonitorService:
                     step=event.step,
                     data={"detector": label, "first": event.first},
                 )
-            self.alarms_emitted += len(events)
+            self._c_alarms.inc(len(events), detector=label)
         for row in range(len(self._local_steps)):
             self._local_steps[row] += 1
-        self.rounds_processed += 1
+        self._c_rounds.inc()
+        self._h_round.observe(time.perf_counter() - round_started)
+        if self.scraper is not None:
+            self._update_derived()
+            self.scraper.maybe_scrape()
 
     # ------------------------------------------------------------------
     # hot swap
@@ -495,12 +553,52 @@ class MonitorService:
             for label, core, bound, payload in prepared:
                 core.rebind(bound)
                 self.log.append("swap", data={"label": label, **payload})
-            self.swaps_applied += len(prepared)
+            self._c_swaps.inc(len(prepared))
 
     # ------------------------------------------------------------------
+    # telemetry views — the historical plain-int counter attributes are
+    # read-only properties over the registry, so existing callers (tests,
+    # examples, benchmarks) keep working unchanged.
+    @property
+    def samples_ingested(self) -> int:
+        """Samples accepted into ring buffers since start."""
+        return int(self._c_ingested.total())
+
+    @property
+    def samples_dropped(self) -> int:
+        """Samples dropped by the overflow policy since start."""
+        return int(self._c_dropped.total())
+
+    @property
+    def rounds_processed(self) -> int:
+        """Lockstep rounds processed since start."""
+        return int(self._c_rounds.total())
+
+    @property
+    def alarms_emitted(self) -> int:
+        """Alarm events emitted since start (all detectors)."""
+        return int(self._c_alarms.total())
+
+    @property
+    def swaps_applied(self) -> int:
+        """Hot swaps applied since start."""
+        return int(self._c_swaps.total())
+
+    def _update_derived(self) -> None:
+        """Refresh gauges derived from counters (ingest rate)."""
+        uptime = time.monotonic() - self._started_monotonic
+        if uptime > 0:
+            self._g_ingest_rate.set(self._c_ingested.total() / uptime)
+
     def stats(self) -> dict:
-        """Counters and membership snapshot of the running service."""
+        """Counters and membership snapshot of the running service.
+
+        The counter values are a view over the service's metrics registry
+        (see the ``metrics`` parameter); keys and meanings are unchanged
+        from the pre-registry implementation.
+        """
         with self._lock:
+            self._update_derived()
             return {
                 "members": list(self._ids),
                 "pending": {
@@ -517,8 +615,15 @@ class MonitorService:
             }
 
     def close(self) -> None:
-        """Close the event log and every sink (pending partial rounds are kept)."""
+        """Close the event log and every sink (pending partial rounds are kept).
+
+        A configured scraper gets one final unconditional scrape so the
+        exposition file reflects the service's terminal counters.
+        """
         with self._lock:
+            if self.scraper is not None:
+                self._update_derived()
+                self.scraper.scrape()
             self.log.close()
             for sink in self.sinks:
                 sink.close()

@@ -1,0 +1,160 @@
+"""Tests for repro.obs.export: Prometheus round-trip, JSON snapshots, scraper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    PeriodicScraper,
+    parse_prometheus_text,
+    prometheus_text,
+    read_json_snapshot,
+    text_report,
+    write_json_snapshot,
+)
+from repro.utils.validation import ValidationError
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("events_total", "events seen").inc(3, detector="cusum")
+    registry.counter("events_total").inc(1.5, detector="static")
+    registry.gauge("utilization", "busy fraction").set(0.8125, worker="0")
+    histogram = registry.histogram("solve_seconds", "solver time", buckets=(0.1, 1.0))
+    histogram.observe(0.05, backend="lp")
+    histogram.observe(0.5, backend="lp")
+    histogram.observe(7.0, backend="lp")
+    histogram.observe(0.2)  # a second, unlabelled cell
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def test_prometheus_text_renders_all_families():
+    text = prometheus_text(_populated_registry())
+    assert "# TYPE events_total counter" in text
+    assert 'events_total{detector="cusum"} 3' in text
+    assert 'events_total{detector="static"} 1.5' in text
+    assert "# TYPE utilization gauge" in text
+    assert 'utilization{worker="0"} 0.8125' in text
+    assert "# TYPE solve_seconds histogram" in text
+    # Cumulative buckets: 0.05 <= 0.1, 0.5 <= 1.0, 7.0 -> overflow.
+    assert 'solve_seconds_bucket{backend="lp",le="0.1"} 1' in text
+    assert 'solve_seconds_bucket{backend="lp",le="1"} 2' in text
+    assert 'solve_seconds_bucket{backend="lp",le="+Inf"} 3' in text
+    assert 'solve_seconds_sum{backend="lp"} 7.55' in text
+    assert 'solve_seconds_count{backend="lp"} 3' in text
+
+
+def test_prometheus_parse_back_equals_snapshot():
+    registry = _populated_registry()
+    assert parse_prometheus_text(prometheus_text(registry)) == registry.snapshot()
+
+
+def test_prometheus_round_trip_with_hostile_label_values():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("odd_total", "label torture").inc(
+        2, path='C:\\tmp\\"x"', note="line1\nline2", comma="a,b=c"
+    )
+    assert parse_prometheus_text(prometheus_text(registry)) == registry.snapshot()
+
+
+def test_prometheus_round_trip_empty_instruments():
+    # Instruments with no recorded values still appear (HELP/TYPE only) and
+    # survive the round trip — except that an unobserved histogram cannot
+    # carry its bucket bounds through the text format.
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("quiet_total", "never fired")
+    registry.gauge("idle")
+    parsed = parse_prometheus_text(prometheus_text(registry))
+    assert parsed == registry.snapshot()
+
+
+def test_prometheus_defaults_to_process_registry():
+    from repro.obs import use_registry
+
+    # None resolves get_registry(); scope a fresh registry so the test does
+    # not depend on what earlier suite tests registered on the default.
+    with use_registry(_populated_registry()) as registry:
+        assert parse_prometheus_text(prometheus_text()) == registry.snapshot()
+    assert prometheus_text(MetricsRegistry(enabled=True)) == ""
+
+
+def test_parse_rejects_undeclared_samples_and_bad_inputs():
+    with pytest.raises(ValidationError):
+        parse_prometheus_text("mystery_metric 1\n")
+    with pytest.raises(ValidationError):
+        prometheus_text(42)
+
+
+# ----------------------------------------------------------------------
+# JSON snapshots
+# ----------------------------------------------------------------------
+def test_json_snapshot_round_trip(tmp_path):
+    registry = _populated_registry()
+    path = write_json_snapshot(tmp_path / "metrics.json", registry)
+    assert read_json_snapshot(path) == registry.snapshot()
+    assert not (tmp_path / "metrics.json.tmp").exists()  # atomic write cleaned up
+
+
+def test_json_snapshot_accepts_snapshot_dict(tmp_path):
+    snap = _populated_registry().snapshot()
+    path = write_json_snapshot(tmp_path / "metrics.json", snap)
+    assert read_json_snapshot(path) == snap
+
+
+# ----------------------------------------------------------------------
+# PeriodicScraper
+# ----------------------------------------------------------------------
+def test_scraper_validates_arguments(tmp_path):
+    with pytest.raises(ValidationError):
+        PeriodicScraper(tmp_path / "m.prom", fmt="xml")
+    with pytest.raises(ValidationError):
+        PeriodicScraper(tmp_path / "m.prom", interval_s=-1.0)
+
+
+def test_scraper_interval_gating_with_injected_clock(tmp_path):
+    registry = _populated_registry()
+    scraper = PeriodicScraper(tmp_path / "m.prom", registry=registry, interval_s=10.0)
+    assert scraper.maybe_scrape(now=100.0) is True  # first call always scrapes
+    assert scraper.maybe_scrape(now=105.0) is False  # inside the interval
+    assert scraper.maybe_scrape(now=109.999) is False
+    assert scraper.maybe_scrape(now=110.0) is True  # interval elapsed
+    assert scraper.scrapes == 2
+    assert parse_prometheus_text(scraper.path.read_text()) == registry.snapshot()
+
+
+def test_scraper_scrape_is_unconditional(tmp_path):
+    registry = _populated_registry()
+    scraper = PeriodicScraper(tmp_path / "m.prom", registry=registry, interval_s=1e9)
+    scraper.scrape()
+    registry.counter("events_total").inc(10, detector="cusum")
+    scraper.scrape()  # interval has not elapsed; scrape() flushes anyway
+    assert scraper.scrapes == 2
+    parsed = parse_prometheus_text(scraper.path.read_text())
+    assert parsed == registry.snapshot()
+
+
+def test_scraper_json_format(tmp_path):
+    registry = _populated_registry()
+    scraper = PeriodicScraper(tmp_path / "m.json", registry=registry, fmt="json")
+    scraper.scrape()
+    assert read_json_snapshot(scraper.path) == registry.snapshot()
+
+
+# ----------------------------------------------------------------------
+# text_report
+# ----------------------------------------------------------------------
+def test_text_report_shows_values_and_histogram_means():
+    report = text_report(_populated_registry())
+    assert "events_total (counter)" in report
+    assert '{detector="cusum"} = 3' in report
+    assert "utilization (gauge)" in report
+    assert "solve_seconds (histogram)" in report
+    assert "count=3" in report
+    # Empty instruments are omitted from the human-facing dump.
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("quiet_total")
+    assert text_report(registry) == "metrics report"

@@ -476,6 +476,24 @@ class TestRunFleet:
         # Batched stepping keeps this far from per-instance-Python-loop cost.
         assert report.elapsed_seconds < 30.0
 
+    def test_throughput_is_nan_without_a_measured_run(self):
+        """A report with no elapsed time has no rate — NaN, not inf or zero.
+
+        NaN poisons any aggregate that accidentally includes an unmeasured
+        report and fails every ``>`` gate, instead of an ``inf`` passing
+        them vacuously.
+        """
+        import math
+
+        from repro.runtime.report import FleetReport
+
+        for elapsed in (0.0, -1.0):
+            report = FleetReport(n_instances=10, horizon=5, elapsed_seconds=elapsed)
+            assert math.isnan(report.throughput)
+            assert math.isnan(report.to_dict()["throughput"])
+        measured = FleetReport(n_instances=10, horizon=5, elapsed_seconds=2.0)
+        assert measured.throughput == 25.0
+
 
 class TestRuntimeConfig:
     def test_round_trips_through_dict_and_json(self):

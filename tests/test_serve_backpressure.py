@@ -66,6 +66,41 @@ class TestDropPolicies:
         assert sink.emitted == sink.forwarded + sink.dropped
 
 
+class TestAccountingInvariant:
+    @pytest.mark.parametrize("policy", ["block", "drop-oldest", "drop-newest"])
+    def test_every_event_is_forwarded_dropped_or_queued(self, policy):
+        """At every point: ``emitted == forwarded + dropped + len(queue)``.
+
+        The three counters plus the queue must account for every event ever
+        emitted, under any interleaving of bursts (some overflowing the
+        queue), explicit flushes, and trailing partial batches — this is the
+        invariant the observability counters report on, so it must hold
+        mid-stream, not just at close.
+        """
+        inner = InMemorySink()
+        sink = BufferedSink(inner, capacity=3, policy=policy)
+        step = 0
+
+        def check():
+            assert sink.emitted == sink.forwarded + sink.dropped + len(sink)
+            assert sink.forwarded == len(inner.events)
+
+        for burst in (1, 5, 2, 0, 7, 3):
+            sink.emit(_events(burst, start=step))
+            step += burst
+            check()
+        sink.flush()
+        check()
+        sink.emit(_events(2, start=step))
+        check()
+        sink.close()
+        check()
+        assert len(sink) == 0
+        assert sink.emitted == 20
+        if policy == "block":
+            assert sink.dropped == 0 and sink.forwarded == 20
+
+
 class TestLifecycle:
     def test_close_flushes_and_closes_inner(self, tmp_path):
         path = tmp_path / "alarms.jsonl"
