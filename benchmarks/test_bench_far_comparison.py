@@ -60,8 +60,6 @@ def test_far_comparison(benchmark, vsc_case, vsc_synthesis, vsc_far_evaluator):
 
 def test_far_trajectory_static_vs_variable(benchmark, trajectory_case, trajectory_synthesis):
     """Complementary FAR measurement on the trajectory-tracking system."""
-    import numpy as np
-
     from repro import FalseAlarmEvaluator
 
     problem = trajectory_case.problem

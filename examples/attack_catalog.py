@@ -15,8 +15,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import (
     ChiSquareDetector,
     CusumDetector,

@@ -39,13 +39,13 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.api.config import ExperimentSpec, ExperimentUnit, FARConfig, SynthesisConfig, _checked_fields
 from repro.api.execute import run_pipeline, synthesis_record
+from repro.obs.clock import Stopwatch
 from repro.obs.metrics import MetricsRegistry, get_registry, metrics_enabled, use_registry
 from repro.registry import CASE_STUDIES
 from repro.utils.validation import ValidationError
@@ -375,14 +375,14 @@ def _execute_group(group: dict, case=None) -> dict:
     once.  ``result["elapsed_s"]`` carries the group's wall time for the
     parent's utilization accounting either way.
     """
-    started = time.perf_counter()
+    started = Stopwatch()
     if metrics_enabled():
         with use_registry(MetricsRegistry(enabled=True)) as scoped:
             result = _execute_group_body(group, case)
             result["metrics"] = scoped.snapshot()
     else:
         result = _execute_group_body(group, case)
-    result["elapsed_s"] = time.perf_counter() - started
+    result["elapsed_s"] = started.elapsed()
     return result
 
 
@@ -408,7 +408,7 @@ def _execute_group_body(group: dict, case=None) -> dict:
             far=FARConfig.from_dict(far) if isinstance(far, dict) else far,
             presynthesized=group.get("presynthesized"),
         )
-    except Exception as exc:  # noqa: BLE001 - one bad group must not kill the sweep
+    except Exception as exc:  # repro: noqa REP003 — one bad group must not kill the sweep
         error = f"{type(exc).__name__}: {exc}"
         return {
             "rows": [
@@ -462,7 +462,7 @@ def _execute_group_body(group: dict, case=None) -> dict:
                     row.metrics.update(
                         _run_probe(case.problem, probe, deployed, margin)
                     )
-                except Exception as exc:  # noqa: BLE001 - probe is best-effort
+                except Exception as exc:  # repro: noqa REP003 — probe is best-effort, errors ride on the row
                     row.metrics["probe_error"] = f"{type(exc).__name__}: {exc}"
         rows.append(row.to_dict())
     return {
@@ -626,7 +626,7 @@ class BatchRunner:
             "batch_group_seconds", help="Wall time per executed unit group."
         )
         busy_seconds = 0.0
-        started = time.perf_counter()
+        started = Stopwatch()
         grouped = _group_units(units)
         if presynthesized is not None and any(presynthesized):
             for payload, indices in grouped:
@@ -685,10 +685,10 @@ class BatchRunner:
                         cases[cache_key] = CASE_STUDIES.create(
                             payload["case_study"], **payload["case_study_options"]
                         )
-                    except Exception as exc:  # noqa: BLE001 - recorded per-row below
+                    except Exception as exc:  # repro: noqa REP003 — builder errors are recorded per-row
                         cases[cache_key] = exc
                 deliver(indices, _execute_group(payload, case=cases[cache_key]))
-        wall = time.perf_counter() - started
+        wall = started.elapsed()
         registry.gauge(
             "batch_workers", help="Pool size of the last _execute_units call."
         ).set(pool_size)

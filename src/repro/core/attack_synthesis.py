@@ -18,7 +18,7 @@ once instead of once per call.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import Stopwatch
 
 from repro.core.problem import SynthesisProblem
 from repro.core.session import AttackSynthesisResult, SynthesisSession
@@ -53,9 +53,9 @@ def synthesize_attack(
         Re-simulate the synthesized attack and check stealth / pfc violation
         on the concrete trace.
     """
-    start = time.monotonic()
+    start = Stopwatch()
     session = SynthesisSession(problem, backend=backend, verify=verify, **backend_kwargs)
     result = session.solve(threshold, time_budget=time_budget)
     # One-shot elapsed covers the encoding build as well (historical semantics).
-    result.elapsed = time.monotonic() - start
+    result.elapsed = start.elapsed()
     return result

@@ -23,7 +23,6 @@ length one, and both paths produce bit-identical results.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.core.problem import SynthesisProblem
 from repro.detectors.threshold import ThresholdVector
 from repro.falsification.registry import get_backend
 from repro.lti.simulate import SimulationTrace
+from repro.obs.clock import Stopwatch
 from repro.obs.metrics import get_registry, timed
 from repro.obs.trace import span
 from repro.utils.results import SolveStatus
@@ -158,7 +158,7 @@ class SynthesisSession:
         verify:
             Per-call override of the session's ``verify`` default.
         """
-        start = time.monotonic()
+        start = Stopwatch()
         verify = self.verify if verify is None else verify
         registry = get_registry()
         backend_name = getattr(self.solver, "name", "?")
@@ -173,11 +173,11 @@ class SynthesisSession:
                 # Fresh shell per hit: callers own their result's ``elapsed``
                 # (charging the original solve time again would double-count
                 # wall clock in per-algorithm totals) and may overwrite it.
-                return replace(cached, elapsed=time.monotonic() - start)
+                return replace(cached, elapsed=start.elapsed())
         with span("synthesis.solve", problem=self.problem.name, backend=backend_name):
             answer = self._backend_session.solve(threshold, time_budget=time_budget)
         self.solves += 1
-        elapsed = time.monotonic() - start
+        elapsed = start.elapsed()
         registry.histogram(
             "synthesis_solve_seconds",
             help="Backend solve time per Algorithm 1 round.",

@@ -48,7 +48,7 @@ produce bit-identical answers.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import Stopwatch
 from collections import OrderedDict
 
 import numpy as np
@@ -150,7 +150,7 @@ class LPBackendSession(BackendSession):
         threshold: ThresholdVector | None = None,
         time_budget: float | None = None,
     ) -> BackendAnswer:
-        start = time.monotonic()
+        start = Stopwatch()
         backend = self.backend
         branches = self._branches
         if not branches:
@@ -165,7 +165,7 @@ class LPBackendSession(BackendSession):
         best_theta = None
         best_label = None
         for index, branch in enumerate(branches):
-            if time_budget is not None and time.monotonic() - start > time_budget:
+            if start.exceeded(time_budget):
                 return BackendAnswer(
                     status=SolveStatus.UNKNOWN,
                     diagnostics={"branches_explored": explored, "reason": "time budget"},
@@ -189,7 +189,7 @@ class LPBackendSession(BackendSession):
                 diagnostics={
                     "backend": backend.name,
                     "branches_explored": explored,
-                    "elapsed": time.monotonic() - start,
+                    "elapsed": start.elapsed(),
                 },
             )
         return BackendAnswer(
@@ -200,7 +200,7 @@ class LPBackendSession(BackendSession):
                 "branch": best_label,
                 "branches_explored": explored,
                 "margin_mode": backend.margin_mode,
-                "elapsed": time.monotonic() - start,
+                "elapsed": start.elapsed(),
             },
         )
 

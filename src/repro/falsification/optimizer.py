@@ -22,7 +22,7 @@ design, so there is no further solver state to cache.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import Stopwatch
 
 import numpy as np
 from scipy import optimize
@@ -77,7 +77,7 @@ class OptimizationFalsifier(AttackBackend):
         return float(np.max(bound_array))
 
     def solve(self, encoding: AttackEncoding, time_budget: float | None = None) -> BackendAnswer:
-        start = time.monotonic()
+        start = Stopwatch()
         branches = encoding.violation_branches()
         if not branches:
             return BackendAnswer(status=SolveStatus.UNSAT, diagnostics={"branches": 0})
@@ -92,7 +92,7 @@ class OptimizationFalsifier(AttackBackend):
         best_value = np.inf
         evaluations = 0
         for restart in range(self.restarts):
-            if time_budget is not None and time.monotonic() - start > time_budget:
+            if start.exceeded(time_budget):
                 break
             theta0 = rng.uniform(-scale, scale, size=n)
             for index, (low, high) in enumerate(bounds):
@@ -119,7 +119,7 @@ class OptimizationFalsifier(AttackBackend):
                         "restarts_used": restart + 1,
                         "objective": best_value,
                         "evaluations": evaluations,
-                        "elapsed": time.monotonic() - start,
+                        "elapsed": start.elapsed(),
                     },
                 )
 
@@ -129,6 +129,6 @@ class OptimizationFalsifier(AttackBackend):
                 "backend": self.name,
                 "best_objective": best_value,
                 "evaluations": evaluations,
-                "elapsed": time.monotonic() - start,
+                "elapsed": start.elapsed(),
             },
         )

@@ -28,7 +28,7 @@ the *current* encoding, not across releases.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import Stopwatch
 
 import numpy as np
 
@@ -81,7 +81,7 @@ class SMTBackendSession(BackendSession):
         threshold: ThresholdVector | None = None,
         time_budget: float | None = None,
     ) -> BackendAnswer:
-        start = time.monotonic()
+        start = Stopwatch()
         if not self._branches:
             return BackendAnswer(status=SolveStatus.UNSAT, diagnostics={"branches": 0})
 
@@ -94,7 +94,7 @@ class SMTBackendSession(BackendSession):
             self._solver.pop()
 
         diagnostics = dict(result.statistics)
-        diagnostics.update({"backend": self.backend.name, "elapsed": time.monotonic() - start})
+        diagnostics.update({"backend": self.backend.name, "elapsed": start.elapsed()})
 
         if result.status is SolveStatus.SAT:
             theta = np.array([result.real_model.get(name, 0.0) for name in self._names])

@@ -1,0 +1,60 @@
+"""`repro.lint`: repo-invariant static analysis with a CI gate.
+
+Every guarantee this reproduction makes — bit-identical online/offline
+detector equivalence, bit-identical CEGIS sessions, first-write-wins
+content-addressed stores, bit-identical ``serve.replay`` — rests on
+invariants that generic linters cannot see.  This package encodes them as
+AST-based rules and gates the tree on every commit (the
+``lint-invariants`` CI job and ``tests/test_lint_self.py`` both run
+``python -m repro.lint src`` and require zero unsuppressed findings):
+
+==========  ===========================================================
+code        invariant protected
+==========  ===========================================================
+``REP001``  no wall-clock reads outside :mod:`repro.obs`/benchmarks —
+            replayable paths measure time via
+            :class:`repro.obs.clock.Stopwatch` only
+``REP002``  no legacy global NumPy RNG and no unseeded ``default_rng()``
+            — all randomness flows through :mod:`repro.utils.rng`
+``REP003``  no bare/broad ``except:`` — handlers name what they expect
+``REP004``  plugin registrations are unique and live in modules their
+            package ``__init__`` imports
+``REP005``  config dataclasses round-trip: ``to_json`` pairs with
+            ``from_json``, literal ``to_dict`` covers every field
+``REP006``  counters are named ``*_total``, gauges are not, histogram
+            bucket tuples are strictly increasing — the Prometheus
+            exposition stays invertible
+==========  ===========================================================
+
+Findings are suppressed per line with ``# repro: noqa REP0xx — <why>``;
+the justification is mandatory, and malformed or unused pragmas are
+themselves findings (``REP000``, never suppressible).  See
+``docs/static-analysis.md`` for the rule catalogue and policy.
+"""
+
+from repro.lint.base import FileContext, Finding, LintRule, ProjectContext
+from repro.lint.engine import (
+    RULE_CLASSES,
+    LintResult,
+    default_rules,
+    known_codes,
+    run_lint,
+)
+from repro.lint.pragmas import SuppressionPragma, parse_pragmas
+from repro.lint.report import json_report, text_report
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintRule",
+    "ProjectContext",
+    "RULE_CLASSES",
+    "SuppressionPragma",
+    "default_rules",
+    "json_report",
+    "known_codes",
+    "parse_pragmas",
+    "run_lint",
+    "text_report",
+]

@@ -1,0 +1,119 @@
+"""Core datatypes of the lint framework: findings, contexts, and the rule base.
+
+A lint run parses every file once into a :class:`FileContext` (AST, module
+name, suppression pragmas), hands each context to every active rule's
+``check``, then calls each rule's ``finish`` with the whole-project
+:class:`ProjectContext` so cross-file rules (e.g. registry uniqueness) can
+reconcile what they collected.  Rules return :class:`Finding` objects;
+suppression is applied afterwards by the engine, so rules never need to
+know about pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.lint.pragmas import SuppressionPragma
+
+#: Code used for meta-findings (malformed pragmas, syntax errors, unused
+#: suppressions).  Never suppressible — a broken suppression must not be
+#: able to hide itself.
+PRAGMA_CODE = "REP000"
+
+
+@dataclass
+class Finding:
+    """One rule violation (or pragma/parse error) at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    suppressed: bool = False
+    justification: str | None = None
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: CODE message``)."""
+        suffix = f"  [suppressed: {self.justification}]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}{suffix}"
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (used by the JSON reporter)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class FileContext:
+    """One parsed source file: path, dotted module name, AST, and pragmas."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, "SuppressionPragma"] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """Dotted name of the containing package (empty for top-level files)."""
+        return self.module.rpartition(".")[0]
+
+
+@dataclass
+class ProjectContext:
+    """Every successfully parsed file of the run, for cross-file rules."""
+
+    files: list[FileContext] = field(default_factory=list)
+
+    def by_path(self, path: Path) -> FileContext | None:
+        """The context parsed from ``path`` (``None`` when not in the run)."""
+        for ctx in self.files:
+            if ctx.path == path:
+                return ctx
+        return None
+
+
+class LintRule:
+    """Base class every rule derives from.
+
+    Subclasses set ``code`` (``"REP0xx"``), ``name`` and ``description``,
+    and override :meth:`check` (per file) and/or :meth:`finish` (once, after
+    every file was checked — for cross-file analyses).  Rules are
+    instantiated fresh per run, so they may accumulate state in ``check``
+    and reconcile it in ``finish``.
+    """
+
+    code: str = PRAGMA_CODE
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Findings for one file (default: none)."""
+        return []
+
+    def finish(self, project: ProjectContext) -> list[Finding]:
+        """Cross-file findings after every file was checked (default: none)."""
+        return []
+
+    # ------------------------------------------------------------------
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` for this rule anchored at ``node``."""
+        return Finding(
+            code=self.code,
+            message=message,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+        )

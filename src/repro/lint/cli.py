@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro.lint [paths]``.
+
+Exit status is non-zero exactly when unsuppressed findings remain, so the
+command doubles as a CI gate::
+
+    python -m repro.lint src                          # human-readable
+    python -m repro.lint src --format json            # machine-readable
+    python -m repro.lint src --format json --output lint-report.json
+    python -m repro.lint src --select REP001,REP003   # subset of rules
+    python -m repro.lint --list-rules                 # rule catalogue
+
+``--output`` writes the report to a file (useful with ``--format json`` to
+upload a CI artifact) while the exit code still reflects the findings; a
+one-line summary goes to stderr so the terminal shows the outcome either
+way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import RULE_CLASSES, run_lint
+from repro.lint.report import json_report, text_report
+
+
+def _default_paths() -> list[str]:
+    """``src`` when the working directory has one, else the working directory."""
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def _rule_catalogue() -> str:
+    """One line per rule: code, name, description."""
+    lines = []
+    for rule_class in RULE_CLASSES:
+        lines.append(f"{rule_class.code}  {rule_class.name}")
+        lines.append(f"       {rule_class.description}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the linter; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Repo-invariant static analysis for the repro library.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: ./src if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_catalogue())
+        return 0
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        result = run_lint(args.paths or _default_paths(), select=select)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    report = json_report(result) if args.format == "json" else text_report(result)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(
+            f"{len(result.unsuppressed)} unsuppressed finding(s); "
+            f"report written to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(report)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Determinism rules: REP001 (wall clock) and REP002 (global NumPy RNG).
+
+Both rules protect the repository's replay guarantees — bit-identical
+online/offline detector equivalence, bit-identical CEGIS sessions,
+first-write-wins content-addressed stores, and bit-identical
+``serve.replay`` — which hold only while replayable code paths consume
+neither wall-clock time nor unseeded global randomness.
+
+* **REP001** flags every direct wall-clock read (``time.time``,
+  ``time.perf_counter``, ``time.monotonic``, ``time.process_time`` and
+  their ``_ns`` forms, ``datetime.now``/``utcnow``/``today``) outside
+  :mod:`repro.obs` (the designated clock owner — everything else measures
+  durations through :class:`repro.obs.clock.Stopwatch`) and outside
+  benchmark directories.
+* **REP002** flags legacy global NumPy RNG calls (``np.random.seed``,
+  ``np.random.normal``, ``np.random.RandomState()``, ...) and *unseeded*
+  ``default_rng()`` calls everywhere except :mod:`repro.utils.rng`, the
+  single module through which all randomness flows.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext, Finding, LintRule
+
+#: Wall-clock reading functions of the :mod:`time` module.
+WALL_CLOCK_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+
+#: Wall-clock reading constructors on ``datetime.datetime`` / ``datetime.date``.
+DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: Legacy global-state functions (and the legacy generator class) under
+#: ``numpy.random`` whose use bypasses :func:`repro.utils.rng.ensure_rng`.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "random_integers",
+        "normal",
+        "uniform",
+        "choice",
+        "shuffle",
+        "permutation",
+        "standard_normal",
+        "beta",
+        "binomial",
+        "poisson",
+        "exponential",
+        "gamma",
+        "lognormal",
+        "multivariate_normal",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+
+class WallClockRule(LintRule):
+    """REP001: wall-clock reads are confined to ``repro.obs`` (and benchmarks)."""
+
+    code = "REP001"
+    name = "wall-clock-confinement"
+    description = (
+        "No direct wall-clock reads (time.time/perf_counter/monotonic/"
+        "process_time, datetime.now) outside repro.obs and benchmarks — "
+        "use repro.obs.clock.Stopwatch.  Protects serve.replay and session "
+        "bit-identity."
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Flag wall-clock reads in ``ctx`` unless the module is exempt."""
+        if ctx.module == "repro.obs" or ctx.module.startswith("repro.obs."):
+            return []
+        if any(part == "benchmarks" for part in ctx.path.parts):
+            return []
+
+        time_aliases: set[str] = set()
+        datetime_module_aliases: set[str] = set()
+        datetime_class_aliases: set[str] = set()
+        direct_fns: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_module_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_TIME_FNS:
+                            direct_fns[alias.asname or alias.name] = f"time.{alias.name}"
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_class_aliases.add(alias.asname or alias.name)
+
+        findings = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{what}` outside repro.obs — measure "
+                    "durations with repro.obs.clock.Stopwatch (replay paths "
+                    "must be clock-free)",
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                value = node.value
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id in time_aliases
+                    and node.attr in WALL_CLOCK_TIME_FNS
+                ):
+                    flag(node, f"time.{node.attr}")
+                elif node.attr in DATETIME_FNS and (
+                    (isinstance(value, ast.Name) and value.id in datetime_class_aliases)
+                    or (
+                        isinstance(value, ast.Attribute)
+                        and value.attr in ("datetime", "date")
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in datetime_module_aliases
+                    )
+                ):
+                    flag(node, f"datetime.{node.attr}")
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in direct_fns
+            ):
+                flag(node, direct_fns[node.id])
+        return findings
+
+
+class GlobalRngRule(LintRule):
+    """REP002: all randomness flows through ``repro.utils.rng``."""
+
+    code = "REP002"
+    name = "no-global-rng"
+    description = (
+        "No legacy global NumPy RNG (np.random.<fn>) and no unseeded "
+        "default_rng() outside repro.utils.rng — per-stream seeded "
+        "Generators keep noise realizations reproducible."
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Flag legacy/unseeded RNG use in ``ctx`` unless the module is exempt."""
+        if ctx.module == "repro.utils.rng":
+            return []
+
+        numpy_aliases: set[str] = set()
+        random_module_aliases: set[str] = set()
+        direct_legacy: dict[str, str] = {}
+        direct_default_rng: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        # ``import numpy.random`` binds the top-level package.
+                        numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_module_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name in LEGACY_NP_RANDOM:
+                            direct_legacy[alias.asname or alias.name] = alias.name
+                        elif alias.name == "default_rng":
+                            direct_default_rng.add(alias.asname or "default_rng")
+
+        def is_np_random(value: ast.AST) -> bool:
+            if isinstance(value, ast.Name) and value.id in random_module_aliases:
+                return True
+            return (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_aliases
+            )
+
+        def unseeded(call: ast.Call) -> bool:
+            if call.args:
+                first = call.args[0]
+                return isinstance(first, ast.Constant) and first.value is None
+            seed_kw = next((kw for kw in call.keywords if kw.arg == "seed"), None)
+            if seed_kw is not None:
+                return isinstance(seed_kw.value, ast.Constant) and seed_kw.value.value is None
+            return True
+
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and is_np_random(func.value):
+                if func.attr in LEGACY_NP_RANDOM:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"legacy global NumPy RNG `np.random.{func.attr}()` — "
+                            "route randomness through repro.utils.rng.ensure_rng",
+                        )
+                    )
+                elif func.attr == "default_rng" and unseeded(node):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "unseeded `default_rng()` — pass an explicit seed or "
+                            "use repro.utils.rng.ensure_rng",
+                        )
+                    )
+            elif isinstance(func, ast.Name):
+                if func.id in direct_legacy:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"legacy global NumPy RNG `{direct_legacy[func.id]}()` — "
+                            "route randomness through repro.utils.rng.ensure_rng",
+                        )
+                    )
+                elif func.id in direct_default_rng and unseeded(node):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "unseeded `default_rng()` — pass an explicit seed or "
+                            "use repro.utils.rng.ensure_rng",
+                        )
+                    )
+        return findings

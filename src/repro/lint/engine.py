@@ -1,0 +1,152 @@
+"""Lint orchestration: walk files, run rules, apply suppressions.
+
+``run_lint(paths)`` is the single entry point behind both the CLI and the
+self-gate test: it parses every file once, runs each active rule's
+per-file ``check`` and cross-file ``finish``, then applies the suppression
+pragmas — a finding is suppressed exactly when a well-formed
+``# repro: noqa <code> — <justification>`` pragma sits on its line and
+names its code.  Pragmas that suppress nothing are themselves reported
+(suppressions rot when the code they excuse goes away), as are malformed
+pragmas and syntax errors, under the never-suppressible ``REP000`` code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.base import PRAGMA_CODE, Finding, LintRule, ProjectContext
+from repro.lint.determinism import GlobalRngRule, WallClockRule
+from repro.lint.hygiene import BroadExceptRule
+from repro.lint.instruments import MetricNamingRule
+from repro.lint.plugins import RegistryRule
+from repro.lint.roundtrip import RoundTripRule
+from repro.lint.walker import collect_files, load_file
+
+#: Rule classes in code order; instantiated fresh per run.
+RULE_CLASSES: tuple[type[LintRule], ...] = (
+    WallClockRule,
+    GlobalRngRule,
+    BroadExceptRule,
+    RegistryRule,
+    RoundTripRule,
+    MetricNamingRule,
+)
+
+
+def default_rules() -> list[LintRule]:
+    """Fresh instances of every built-in rule (rules may carry run state)."""
+    return [rule_class() for rule_class in RULE_CLASSES]
+
+
+def known_codes() -> frozenset[str]:
+    """Every valid rule code, the pragma meta-code included."""
+    return frozenset({PRAGMA_CODE, *(rule.code for rule in RULE_CLASSES)})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: every finding, suppressed ones included."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        """Findings that gate the run (not excused by a pragma)."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """Findings excused by a justified pragma."""
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: non-zero iff any unsuppressed finding."""
+        return 1 if self.unsuppressed else 0
+
+
+def run_lint(
+    paths: list[str | Path],
+    select: list[str] | None = None,
+    rules: list[LintRule] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` and return the findings.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to scan.
+    select:
+        Optional rule codes to restrict the run to (``["REP001"]``);
+        ``None`` runs every rule.  Unused-suppression detection only runs
+        with the full rule set (a pragma for an unselected rule is not
+        "unused").
+    rules:
+        Optional explicit rule instances (overrides ``select``).
+    """
+    codes = known_codes()
+    if rules is None:
+        rules = default_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - codes
+            if unknown:
+                raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+            rules = [rule for rule in rules if rule.code in wanted]
+    full_run = {rule.code for rule in rules} == {cls.code for cls in RULE_CLASSES}
+
+    findings: list[Finding] = []
+    contexts = []
+    for path in collect_files(paths):
+        context, file_findings = load_file(path, codes)
+        findings.extend(file_findings)
+        if context is not None:
+            contexts.append(context)
+
+    project = ProjectContext(files=contexts)
+    for rule in rules:
+        for context in contexts:
+            findings.extend(rule.check(context))
+        findings.extend(rule.finish(project))
+
+    # Suppression pass: pragma on the finding's line, naming its code.
+    pragma_by_location = {
+        (str(context.path), line): pragma
+        for context in contexts
+        for line, pragma in context.pragmas.items()
+    }
+    used: set[tuple[str, int, str]] = set()
+    for finding in findings:
+        if finding.code == PRAGMA_CODE:
+            continue
+        pragma = pragma_by_location.get((finding.path, finding.line))
+        if pragma is not None and pragma.covers(finding.code):
+            finding.suppressed = True
+            finding.justification = pragma.justification
+            used.add((finding.path, finding.line, finding.code))
+
+    if full_run:
+        for context in contexts:
+            for line, pragma in context.pragmas.items():
+                stale = [
+                    code
+                    for code in pragma.codes
+                    if (str(context.path), line, code) not in used
+                ]
+                if stale:
+                    findings.append(
+                        Finding(
+                            code=PRAGMA_CODE,
+                            message=(
+                                f"unused suppression for {', '.join(stale)} — "
+                                "the excused finding no longer exists; drop the pragma"
+                            ),
+                            path=str(context.path),
+                            line=line,
+                        )
+                    )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return LintResult(findings=findings, files_scanned=len(contexts))

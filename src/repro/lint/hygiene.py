@@ -1,0 +1,58 @@
+"""Hygiene rule: REP003 — no bare or broad exception handlers.
+
+A ``except:`` / ``except Exception:`` / ``except BaseException:`` handler
+swallows programming errors (``NameError``, ``AttributeError``) along with
+the failure it meant to tolerate, which turns bugs into silently wrong
+results — fatal in a reproduction whose value *is* numeric fidelity.
+Handlers must name the exception types they expect; genuinely deliberate
+catch-alls (worker isolation in a sweep) carry a justified
+``# repro: noqa REP003 — <why>`` pragma instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext, Finding, LintRule
+
+_BROAD = ("Exception", "BaseException")
+
+
+class BroadExceptRule(LintRule):
+    """REP003: exception handlers must name the exceptions they expect."""
+
+    code = "REP003"
+    name = "no-broad-except"
+    description = (
+        "No bare `except:` and no `except Exception/BaseException` — name "
+        "the expected exception types; deliberate catch-alls need a "
+        "justified pragma."
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Flag bare/broad exception handlers in ``ctx``."""
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "bare `except:` — name the expected exception types",
+                    )
+                )
+                continue
+            caught = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            for entry in caught:
+                if isinstance(entry, ast.Name) and entry.id in _BROAD:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"broad `except {entry.id}` — name the expected "
+                            "exception types (or justify with a pragma)",
+                        )
+                    )
+        return findings

@@ -1,0 +1,110 @@
+"""Metrics-instrument rule: REP006 — exposition-safe metric registration.
+
+The Prometheus text exposition in :mod:`repro.obs.export` is *exactly
+invertible* (``parse_prometheus_text(prometheus_text(r)) == r.snapshot()``)
+only because counters are registered with their final ``*_total`` name —
+no suffix rewriting happens on the way out — and histogram bucket bounds
+are strictly increasing tuples fixed at registration.  This rule checks
+every registration call site statically:
+
+* ``.counter("name", ...)`` names must end in ``_total``;
+* ``.gauge("name", ...)`` names must *not* end in ``_total`` (that suffix
+  marks a counter in the exposition);
+* ``.histogram("name", buckets=(...))`` literal bucket tuples must be
+  strictly increasing (the runtime check raises, but only on the first
+  enabled run — lint catches it before it ships).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext, Finding, LintRule
+
+
+def _constant_name(call: ast.Call) -> str | None:
+    """The call's constant-string first argument (``None`` when dynamic)."""
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _literal_buckets(call: ast.Call) -> list[float] | None:
+    """The literal bucket bounds of a histogram call (``None`` when absent)."""
+    candidate = None
+    for keyword in call.keywords:
+        if keyword.arg == "buckets":
+            candidate = keyword.value
+    if candidate is None and len(call.args) >= 3:
+        candidate = call.args[2]
+    if not isinstance(candidate, (ast.Tuple, ast.List)):
+        return None
+    bounds = []
+    for element in candidate.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, (int, float))
+            and not isinstance(element.value, bool)
+        ):
+            return None
+        bounds.append(float(element.value))
+    return bounds
+
+
+class MetricNamingRule(LintRule):
+    """REP006: counter names end `_total`; histogram buckets sorted."""
+
+    code = "REP006"
+    name = "metric-conventions"
+    description = (
+        "Counters registered via repro.obs must be named *_total, gauges "
+        "must not be, and literal histogram bucket tuples must be strictly "
+        "increasing — protects the invertible Prometheus exposition."
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Flag non-conforming instrument registrations in ``ctx``."""
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            kind = node.func.attr
+            if kind not in ("counter", "gauge", "histogram"):
+                continue
+            name = _constant_name(node)
+            if name is None:
+                continue
+            if kind == "counter" and not name.endswith("_total"):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"counter {name!r} must be named '*_total' — the "
+                        "Prometheus exposition appends no suffix",
+                    )
+                )
+            elif kind == "gauge" and name.endswith("_total"):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"gauge {name!r} must not be named '*_total' — that "
+                        "suffix marks a counter in the exposition",
+                    )
+                )
+            elif kind == "histogram":
+                bounds = _literal_buckets(node)
+                if bounds is not None and any(
+                    b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"histogram {name!r} bucket bounds must be strictly "
+                            "increasing",
+                        )
+                    )
+        return findings

@@ -1,0 +1,106 @@
+"""Suppression pragmas: ``# repro: noqa REP0xx — justification``.
+
+A finding is suppressed by a pragma comment **on the same line**, and the
+pragma *must* carry both the rule code(s) being suppressed and a written
+justification — a bare ``# repro: noqa`` (blanket suppression) or a pragma
+without justification is itself reported as a :data:`~repro.lint.base.
+PRAGMA_CODE` finding, which is never suppressible.  Multiple codes are
+comma-separated; the justification follows an em-dash/hyphen/colon
+separator::
+
+    except Exception as exc:  # repro: noqa REP003 — one bad group must not kill the sweep
+
+Pragmas are extracted from real comment tokens (via :mod:`tokenize`), so
+pragma-shaped text inside strings and docstrings — like the example above —
+is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.base import PRAGMA_CODE, Finding
+
+_PRAGMA = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)$")
+_REST = re.compile(
+    r"^\s*(?P<codes>REP\d{3}(?:\s*,\s*REP\d{3})*)?"
+    r"\s*(?:(?:—|–|--|-|:)\s*(?P<just>.*))?$"
+)
+_CODE = re.compile(r"REP\d{3}")
+
+
+@dataclass(frozen=True)
+class SuppressionPragma:
+    """One well-formed suppression: line, suppressed codes, justification."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+    def covers(self, code: str) -> bool:
+        """Whether this pragma suppresses findings with ``code``."""
+        return code in self.codes
+
+
+def parse_pragmas(
+    source: str, path: Path, known_codes: frozenset[str]
+) -> tuple[dict[int, SuppressionPragma], list[Finding]]:
+    """Extract suppression pragmas (and malformed-pragma findings) from a file.
+
+    Returns ``(pragmas_by_line, findings)``: well-formed pragmas keyed by
+    their 1-based line number, and one :data:`PRAGMA_CODE` finding per
+    malformed pragma (no codes, unknown code, or missing justification).
+    """
+    pragmas: dict[int, SuppressionPragma] = {}
+    findings: list[Finding] = []
+
+    def bad(line: int, column: int, message: str) -> None:
+        findings.append(
+            Finding(code=PRAGMA_CODE, message=message, path=str(path), line=line, column=column)
+        )
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files already get a syntax-error finding from the
+        # walker; there are no comments to honour in them.
+        return {}, []
+
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        line, column = token.start
+        rest = _REST.match(match.group("rest"))
+        codes = _CODE.findall(rest.group("codes") or "") if rest else []
+        justification = (rest.group("just") or "").strip() if rest else ""
+        if not codes:
+            bad(
+                line,
+                column,
+                "suppression pragma names no rule codes — blanket "
+                "'# repro: noqa' is not allowed, name the REP0xx code(s)",
+            )
+            continue
+        unknown = [code for code in codes if code not in known_codes]
+        if unknown:
+            bad(line, column, f"suppression pragma names unknown rule code(s): {unknown}")
+            continue
+        if not justification:
+            bad(
+                line,
+                column,
+                f"suppression of {', '.join(codes)} requires a written "
+                "justification ('# repro: noqa REP0xx — <why>')",
+            )
+            continue
+        pragmas[line] = SuppressionPragma(
+            line=line, codes=tuple(codes), justification=justification
+        )
+    return pragmas, findings

@@ -1,0 +1,42 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult` as text or JSON.
+
+The text form is one ``path:line:col: CODE message`` line per finding plus
+a one-line summary — grep- and editor-friendly.  The JSON form is the
+machine contract the CI ``lint-invariants`` job uploads as an artifact:
+``{"files_scanned", "summary", "findings": [...]}`` with each finding in
+its :meth:`~repro.lint.base.Finding.to_dict` shape, suppressed findings
+included (with their justification) so the artifact documents every
+standing exemption.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+
+def text_report(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines = [finding.render() for finding in result.findings]
+    unsuppressed = len(result.unsuppressed)
+    suppressed = len(result.suppressed)
+    lines.append(
+        f"{unsuppressed} finding(s) ({suppressed} suppressed) "
+        f"in {result.files_scanned} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult, indent: int | None = 2) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    payload = {
+        "files_scanned": result.files_scanned,
+        "summary": {
+            "total": len(result.findings),
+            "unsuppressed": len(result.unsuppressed),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)

@@ -1,0 +1,136 @@
+"""Round-trip rule: REP005 — serializable configs rebuild losslessly.
+
+Every config dataclass in the repository (``SynthesisConfig``,
+``RelaxConfig``, ``SearchSpace``, ``ServiceConfig``, ...) promises a JSON
+round trip: ``to_json``/``to_dict`` produce a plain-data form and
+``from_json``/``from_dict`` rebuild an equal object.  Stores key on the
+canonical dict (first-write-wins content addressing), so a field that
+silently falls out of ``to_dict`` corrupts both resumability and cache
+identity.  Two checks:
+
+* a class defining ``to_json`` must define ``from_json`` (one-way JSON is
+  a report, not a config — name it something else);
+* a dataclass defining **both** ``to_dict`` and ``from_dict`` where
+  ``to_dict`` returns a literal ``{...}`` must include every dataclass
+  field among the literal's keys (extra derived keys are fine; a *missing*
+  field is dropped by the round trip).  Deliberately lossy serializations
+  carry a justified pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext, Finding, LintRule
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    """Whether ``node`` carries a ``@dataclass`` / ``@dataclass(...)`` decorator."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[str]:
+    """Names of the class's annotated fields (``ClassVar`` excluded)."""
+    fields = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.dump(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        name = statement.target.id
+        if not name.startswith("_"):
+            fields.append(name)
+    return fields
+
+
+def _literal_dict_keys(function: ast.FunctionDef) -> set[str] | None:
+    """Constant keys of the dict literal(s) ``function`` returns.
+
+    ``None`` when any return is not a dict literal with all-constant string
+    keys (the serialization is computed — nothing to compare statically).
+    """
+    keys: set[str] = set()
+    returns = [
+        node
+        for node in ast.walk(function)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    if not returns:
+        return None
+    for node in returns:
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            return None
+        for key in value.keys:
+            if key is None:
+                continue  # ``**spread`` — unknowable, but the rest still counts
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                return None
+            keys.add(key.value)
+    return keys
+
+
+class RoundTripRule(LintRule):
+    """REP005: ``to_json`` pairs with ``from_json``; ``to_dict`` covers all fields."""
+
+    code = "REP005"
+    name = "config-round-trip"
+    description = (
+        "Config dataclasses defining to_json must define from_json, and a "
+        "literal to_dict must carry every dataclass field — JSON round "
+        "trips (and store content addresses) must not silently drop state."
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Flag one-way ``to_json`` and field-dropping ``to_dict`` in ``ctx``."""
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                entry.name: entry
+                for entry in node.body
+                if isinstance(entry, _FUNCTION_NODES)
+            }
+            if "to_json" in methods and "from_json" not in methods:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        methods["to_json"],
+                        f"{node.name}.to_json has no from_json counterpart — "
+                        "configs must round-trip",
+                    )
+                )
+            if (
+                _is_dataclass(node)
+                and "to_dict" in methods
+                and "from_dict" in methods
+            ):
+                keys = _literal_dict_keys(methods["to_dict"])
+                if keys is None:
+                    continue
+                missing = [
+                    field for field in _dataclass_fields(node) if field not in keys
+                ]
+                if missing:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            methods["to_dict"],
+                            f"{node.name}.to_dict omits dataclass field(s) "
+                            f"{missing} — the from_dict round trip silently "
+                            "drops them",
+                        )
+                    )
+        return findings

@@ -1,0 +1,90 @@
+"""File discovery and parsing: paths → :class:`~repro.lint.base.FileContext`.
+
+``collect_files`` expands the CLI's path arguments (files or directories)
+into a sorted, de-duplicated list of ``.py`` files, skipping hidden
+directories and ``__pycache__``.  ``load_file`` parses one file into a
+:class:`FileContext`, deriving its dotted module name by walking up through
+``__init__.py``-bearing parents (so ``src/repro/obs/clock.py`` becomes
+``repro.obs.clock`` regardless of the working directory) and extracting its
+suppression pragmas.  Unparseable files yield a syntax-error finding
+instead of a context.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.base import PRAGMA_CODE, FileContext, Finding
+from repro.lint.pragmas import parse_pragmas
+
+
+def collect_files(paths: list[str | Path]) -> list[Path]:
+    """Sorted unique ``.py`` files under ``paths`` (files or directories)."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.relative_to(path).parts
+                if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                    continue
+                files.add(candidate.resolve())
+        elif path.suffix == ".py":
+            files.add(path.resolve())
+    return sorted(files)
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name of ``path``, derived from ``__init__.py`` parents.
+
+    Walks upward while the parent directory is a package; a file outside
+    any package is its bare stem.  ``__init__.py`` itself resolves to the
+    *package* name (``repro/obs/__init__.py`` → ``repro.obs``).
+    """
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.insert(0, current.name)
+        current = current.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def load_file(
+    path: Path, known_codes: frozenset[str]
+) -> tuple[FileContext | None, list[Finding]]:
+    """Parse ``path`` into a context; syntax errors become findings.
+
+    Returns ``(context, findings)`` — ``context`` is ``None`` exactly when
+    the file failed to parse, and ``findings`` carries malformed-pragma
+    findings (and the syntax error, if any).
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return None, [
+            Finding(
+                code=PRAGMA_CODE,
+                message=f"cannot read file: {error}",
+                path=str(path),
+                line=1,
+            )
+        ]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return None, [
+            Finding(
+                code=PRAGMA_CODE,
+                message=f"syntax error: {error.msg}",
+                path=str(path),
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+            )
+        ]
+    pragmas, findings = parse_pragmas(source, path, known_codes)
+    context = FileContext(
+        path=path, module=module_name(path), source=source, tree=tree, pragmas=pragmas
+    )
+    return context, findings

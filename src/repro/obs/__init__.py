@@ -13,7 +13,11 @@ monitoring service all record into the same process-local
   folded-stack flamegraph renderings;
 * :mod:`repro.obs.export` — Prometheus text exposition (losslessly
   parseable back into a snapshot), atomic JSON snapshot files, and a
-  :class:`PeriodicScraper` hook for long-running loops.
+  :class:`PeriodicScraper` hook for long-running loops;
+* :mod:`repro.obs.clock` — the :class:`Stopwatch` every other layer uses
+  for elapsed-time reporting and solver time budgets, keeping direct
+  wall-clock reads confined to ``repro.obs`` (lint rule ``REP001`` in
+  :mod:`repro.lint`).
 
 Everything is opt-in: the default registry and tracer start disabled
 (``REPRO_METRICS=1`` / ``REPRO_TRACE=<path>`` environment variables or
@@ -22,6 +26,7 @@ disabled path is cheap enough to leave compiled into hot loops — the fleet
 benchmark gate runs with instrumentation present.
 """
 
+from repro.obs.clock import Stopwatch
 from repro.obs.export import (
     PeriodicScraper,
     parse_prometheus_text,
@@ -61,6 +66,7 @@ __all__ = [
     "MetricsRegistry",
     "PeriodicScraper",
     "SpanRecord",
+    "Stopwatch",
     "Tracer",
     "disable_metrics",
     "disable_tracing",

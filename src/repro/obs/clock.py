@@ -1,0 +1,45 @@
+"""Wall-clock access for every layer outside :mod:`repro.obs`.
+
+The reproduction's replay guarantees (bit-identical CEGIS sessions, fleet
+runs, and ``serve.replay``) require that wall-clock reads never influence
+replayable state — clocks may only feed *reporting*: elapsed diagnostics,
+throughput gauges, latency histograms, and solver time budgets.  To keep
+that auditable, :mod:`repro.obs` is the single subsystem allowed to touch
+:mod:`time` directly (enforced by lint rule ``REP001`` in
+:mod:`repro.lint`), and everything else measures durations through the
+:class:`Stopwatch` defined here.
+
+A :class:`Stopwatch` starts at construction and only ever reports *elapsed*
+time — it deliberately exposes no absolute timestamp, so a call site cannot
+accidentally persist a wall-clock instant into an event log or result row.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Elapsed-seconds measurement started at construction.
+
+    The one sanctioned way for code outside :mod:`repro.obs` to consume
+    wall clock: durations for diagnostics (``elapsed()``) and solver
+    time budgets (``exceeded()``).  Monotonic — immune to system clock
+    adjustments.
+    """
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Fractional seconds since construction."""
+        return time.perf_counter() - self._started
+
+    def exceeded(self, budget: float | None) -> bool:
+        """Whether ``budget`` seconds have passed (``None`` = no budget)."""
+        return budget is not None and self.elapsed() > budget
+
+
+__all__ = ["Stopwatch"]

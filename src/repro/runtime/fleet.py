@@ -24,7 +24,6 @@ Three layers build on the shared :class:`_BatchStepper`:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -33,6 +32,7 @@ import numpy as np
 from repro.attacks.templates import AttackTemplate
 from repro.lti.simulate import ClosedLoopSystem, SimulationTrace
 from repro.noise.models import GaussianNoise, NoiseModel
+from repro.obs.clock import Stopwatch
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import span
 from repro.runtime.batch import BatchDetector, make_batched
@@ -562,7 +562,7 @@ class FleetSimulator:
                 "fleet_alarms_total", help="Detector alarms fired during fleet runs."
             )
 
-        started = time.perf_counter()
+        started = Stopwatch()
         for k in range(T):
             attack_k = None
             if schedule:
@@ -609,7 +609,7 @@ class FleetSimulator:
                 recorder["states"][:, k + 1] = stepper.X
                 recorder["estimates"][:, k + 1] = stepper.Xhat
                 recorder["inputs"][:, k + 1] = stepper.U
-        elapsed = time.perf_counter() - started
+        elapsed = started.elapsed()
 
         if registry is not None:
             registry.counter(

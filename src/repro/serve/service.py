@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import copy
 import threading
-import time
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -53,6 +52,7 @@ from repro.runtime.batch import (
     BatchThresholdDetector,
     make_batched,
 )
+from repro.obs.clock import Stopwatch
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.events import AlarmEvent, EventSink
 from repro.serve.log import ServiceLog
@@ -248,7 +248,7 @@ class MonitorService:
         # attributes are read-only properties over it below.
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=True)
         self.scraper = scraper
-        self._started_monotonic = time.monotonic()
+        self._uptime = Stopwatch()
         self._c_ingested = self.metrics.counter(
             "serve_samples_ingested_total", help="Samples accepted into ring buffers."
         )
@@ -479,7 +479,7 @@ class MonitorService:
 
     def _process_round(self) -> None:
         """Pop one sample per instance and step every detector once."""
-        round_started = time.perf_counter()
+        round_watch = Stopwatch()
         self.log.append("round", data={"members": list(self._ids)})
         block = np.stack([ring.pop() for ring in self._rings])
         self._ready -= sum(1 for ring in self._rings if not len(ring))
@@ -514,7 +514,7 @@ class MonitorService:
         for row in range(len(self._local_steps)):
             self._local_steps[row] += 1
         self._c_rounds.inc()
-        self._h_round.observe(time.perf_counter() - round_started)
+        self._h_round.observe(round_watch.elapsed())
         if self.scraper is not None:
             self._update_derived()
             self.scraper.maybe_scrape()
@@ -586,7 +586,7 @@ class MonitorService:
 
     def _update_derived(self) -> None:
         """Refresh gauges derived from counters (ingest rate)."""
-        uptime = time.monotonic() - self._started_monotonic
+        uptime = self._uptime.elapsed()
         if uptime > 0:
             self._g_ingest_rate.set(self._c_ingested.total() / uptime)
 

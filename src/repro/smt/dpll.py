@@ -13,7 +13,7 @@ by :mod:`repro.smt.cnf`.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import Stopwatch
 from dataclasses import dataclass, field
 
 from repro.smt.cnf import CNF
@@ -66,10 +66,10 @@ class DPLLSolver:
     # ------------------------------------------------------------------
     def solve(self) -> DPLLResult:
         """Run the search to completion (or budget exhaustion)."""
-        start = time.monotonic()
+        start = Stopwatch()
         clauses = [tuple(clause) for clause in self.cnf.clauses]
         if any(len(clause) == 0 for clause in clauses):
-            return DPLLResult(status=SolveStatus.UNSAT, elapsed=time.monotonic() - start)
+            return DPLLResult(status=SolveStatus.UNSAT, elapsed=start.elapsed())
 
         n_vars = self.cnf.variable_count
         assignment: dict[int, bool] = {}
@@ -161,13 +161,13 @@ class DPLLSolver:
 
         # ------------------------------------------------------------------
         while True:
-            if self.time_budget is not None and time.monotonic() - start > self.time_budget:
+            if start.exceeded(self.time_budget):
                 return DPLLResult(
                     status=SolveStatus.UNKNOWN,
                     decisions=decisions,
                     propagations=propagations,
                     theory_checks=theory_checks,
-                    elapsed=time.monotonic() - start,
+                    elapsed=start.elapsed(),
                 )
 
             if not unit_propagate():
@@ -177,7 +177,7 @@ class DPLLSolver:
                         decisions=decisions,
                         propagations=propagations,
                         theory_checks=theory_checks,
-                        elapsed=time.monotonic() - start,
+                        elapsed=start.elapsed(),
                     )
                 continue
 
@@ -190,7 +190,7 @@ class DPLLSolver:
                             decisions=decisions,
                             propagations=propagations,
                             theory_checks=theory_checks,
-                            elapsed=time.monotonic() - start,
+                            elapsed=start.elapsed(),
                         )
                     continue
                 last_theory_model = model
@@ -203,7 +203,7 @@ class DPLLSolver:
                     decisions=decisions,
                     propagations=propagations,
                     theory_checks=theory_checks,
-                    elapsed=time.monotonic() - start,
+                    elapsed=start.elapsed(),
                 )
 
             # Decide: pick the lowest-index unassigned variable, prefer True.
@@ -214,7 +214,7 @@ class DPLLSolver:
                     decisions=decisions,
                     propagations=propagations,
                     theory_checks=theory_checks,
-                    elapsed=time.monotonic() - start,
+                    elapsed=start.elapsed(),
                 )
             for variable in range(1, n_vars + 1):
                 if variable not in assignment:

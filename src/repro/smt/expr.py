@@ -13,7 +13,7 @@ DPLL(T) loop relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.smt.linear import LinearExpr
 from repro.utils.validation import ValidationError

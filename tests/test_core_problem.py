@@ -1,6 +1,5 @@
 """Unit tests for the SynthesisProblem container."""
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -8,7 +7,6 @@ import pytest
 from repro.attacks.fdi import FDIAttack
 from repro.core.problem import SynthesisProblem
 from repro.core.specs import ReachSetCriterion
-from repro.detectors.threshold import ThresholdVector
 from repro.monitors.composite import CompositeMonitor
 from repro.monitors.range_monitor import RangeMonitor
 from repro.utils.validation import ValidationError

@@ -2,8 +2,8 @@
 
 Mirrors the CI docs job locally (which runs ruff's pydocstyle D100/D101
 rules and this file): every module and class in the documented subsystems
-(``repro.explore``, ``repro.obs``, ``repro.runtime``, ``repro.serve``)
-carries a docstring, the headline
+(``repro.explore``, ``repro.lint``, ``repro.obs``, ``repro.runtime``,
+``repro.serve``) carries a docstring, the headline
 classes of this PR document their semantics, and every relative link and
 anchor in ``README.md`` / ``docs/*.md`` resolves.
 """
@@ -18,7 +18,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 SRC = REPO_ROOT / "src" / "repro"
 
 #: Packages whose modules and classes are documentation-gated.
-DOCUMENTED_PACKAGES = ("explore", "obs", "runtime", "serve")
+DOCUMENTED_PACKAGES = ("explore", "lint", "obs", "runtime", "serve")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...

@@ -6,7 +6,6 @@ invariants the library's guarantees rest on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

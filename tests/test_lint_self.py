@@ -1,0 +1,33 @@
+"""Self-gate: ``python -m repro.lint src`` must be clean on this tree.
+
+This is the same check the ``lint-invariants`` CI job runs, expressed as a
+test so it also gates local ``pytest`` runs: zero unsuppressed findings
+over ``src/``, and every standing suppression carries a written
+justification (the pragma grammar already enforces this — the assertion
+documents it against regressions in the engine).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def test_src_tree_has_no_unsuppressed_findings():
+    result = run_lint([SRC])
+    assert result.files_scanned > 100, "src/ walk looks truncated"
+    rendered = "\n".join(finding.render() for finding in result.unsuppressed)
+    assert result.unsuppressed == [], f"repro.lint findings in src/:\n{rendered}"
+    assert result.exit_code == 0
+
+
+def test_every_suppression_is_justified():
+    result = run_lint([SRC])
+    for finding in result.suppressed:
+        assert finding.justification, finding.render()
+        assert len(finding.justification.split()) >= 3, (
+            f"suppression justification too thin: {finding.render()}"
+        )

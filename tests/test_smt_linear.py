@@ -1,6 +1,5 @@
 """Unit and property-based tests for linear expressions."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.attack_synthesis import synthesize_attack
-from repro.lti.analysis import is_controllable, is_observable, is_stable
+from repro.lti.analysis import is_controllable, is_observable
 from repro.systems import (
     build_cruise_case_study,
     build_dcmotor_case_study,
