@@ -17,7 +17,16 @@ monitoring service all record into the same process-local
 * :mod:`repro.obs.clock` — the :class:`Stopwatch` every other layer uses
   for elapsed-time reporting and solver time budgets, keeping direct
   wall-clock reads confined to ``repro.obs`` (lint rule ``REP001`` in
-  :mod:`repro.lint`).
+  :mod:`repro.lint`);
+* :mod:`repro.obs.watch` — self-monitoring: the repo's own CUSUM
+  detectors watch its benchmark trajectory (``BENCH_*.json``) and live
+  registry snapshots for regressions (``python -m repro.obs.watch``).
+
+The ``watch`` names (``BenchHistory``, ``SeriesWatcher``,
+``HealthWatcher``, ``WatchSpec``, ``RegressionEvent``, ...) are
+re-exported lazily via module ``__getattr__``: ``repro.obs.watch`` pulls
+in the detector cores from :mod:`repro.runtime`, which itself imports
+``repro.obs`` — deferring the import keeps the package cycle-free.
 
 Everything is opt-in: the default registry and tracer start disabled
 (``REPRO_METRICS=1`` / ``REPRO_TRACE=<path>`` environment variables or
@@ -85,3 +94,29 @@ __all__ = [
     "use_tracer",
     "write_json_snapshot",
 ]
+
+#: Names resolved lazily from :mod:`repro.obs.watch` (see module docstring).
+_WATCH_EXPORTS = frozenset(
+    {
+        "Baseline",
+        "BenchHistory",
+        "BenchRecord",
+        "BenchSeries",
+        "HealthWatcher",
+        "RegressionEvent",
+        "SeriesWatcher",
+        "WatchPolicy",
+        "WatchSpec",
+        "estimate_baseline",
+        "orientation_for",
+    }
+)
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the ``repro.obs.watch`` surface (PEP 562)."""
+    if name in _WATCH_EXPORTS:
+        from repro.obs import watch
+
+        return getattr(watch, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -92,6 +92,12 @@ def prometheus_text(registry_or_snapshot=None) -> str:
     Instruments keep their registered names verbatim — the repo's
     convention is to name counters ``*_total`` at registration, so the
     exposition needs no suffix rewriting and stays invertible.
+
+    A histogram with *zero* observations still emits one explicit
+    unlabelled all-zero bucket series (plus ``_sum 0`` / ``_count 0``) so
+    its bucket bounds survive the round trip;
+    :func:`parse_prometheus_text` recognises and drops that synthetic
+    series, keeping the exposition exactly invertible.
     """
     snap = _resolve_snapshot(
         get_registry() if registry_or_snapshot is None else registry_or_snapshot
@@ -125,6 +131,15 @@ def prometheus_text(registry_or_snapshot=None) -> str:
             lines.append(f"{name}_bucket{label} {cumulative}")
             lines.append(f"{name}_sum{_label_str(cell['labels'])} {_format_number(cell['sum'])}")
             lines.append(f"{name}_count{_label_str(cell['labels'])} {cell['count']}")
+        if not entry["values"]:
+            # Zero observations: emit an explicit all-zero unlabelled series so
+            # the bucket bounds survive parse_prometheus_text (which drops it).
+            for bound in bounds:
+                label = _label_str({}, extra=[("le", _format_number(bound))])
+                lines.append(f"{name}_bucket{label} 0")
+            lines.append(f'{name}_bucket{{le="+Inf"}} 0')
+            lines.append(f"{name}_sum 0")
+            lines.append(f"{name}_count 0")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -178,10 +193,13 @@ def parse_prometheus_text(text: str) -> dict:
     This is the exact inverse of :func:`prometheus_text` for expositions it
     produced: cumulative bucket series are differenced back to per-bucket
     counts and the ``+Inf`` bucket becomes the overflow cell, so
-    ``parse_prometheus_text(prometheus_text(reg)) == reg.snapshot()``.
-    The one irrecoverable case is a histogram with *zero* observations —
-    the exposition then carries no ``le`` labels, so its bucket bounds
-    parse back empty.
+    ``parse_prometheus_text(prometheus_text(reg)) == reg.snapshot()``
+    with no caveat: the explicit all-zero unlabelled series a
+    zero-observation histogram emits is recognised as the bounds carrier
+    (its bounds are kept, the synthetic cell is not appended to
+    ``values``).  Live registries never produce a real all-zero cell —
+    histogram cells only come into existence on ``observe()`` — so the
+    synthetic series is unambiguous.
     """
     snap = {"counters": {}, "gauges": {}, "histograms": {}}
     kinds = {}
@@ -249,6 +267,15 @@ def parse_prometheus_text(text: str) -> dict:
             for cumulative in cell["cumulative"]:
                 counts.append(int(cumulative - previous))
                 previous = cumulative
+            if (
+                not cell["labels"]
+                and cell["count"] == 0
+                and cell["sum"] == 0.0
+                and not any(counts)
+            ):
+                # The synthetic bounds carrier of a zero-observation
+                # histogram: keep its bounds, don't materialise a cell.
+                continue
             snap["histograms"][name]["values"].append(
                 {
                     "labels": cell["labels"],

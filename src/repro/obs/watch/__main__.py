@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.obs.watch``."""
+
+import sys
+
+from repro.obs.watch.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro.obs.watch <check|report>``.
+
+``check`` is the CI gate: it scans benchmark trajectory files, runs one
+CUSUM watcher per orientation-known series, and exits non-zero exactly
+when a *confirmed* regression (``policy.confirm`` consecutive alarmed
+samples) is present.  Series still shorter than the warm-up window are
+reported as ``warming-up`` and never gate — the grace period while CI
+accumulates history::
+
+    python -m repro.obs.watch check                       # BENCH_DIR or .
+    python -m repro.obs.watch check .bench-history --format json \\
+        --output watch-report.json
+    python -m repro.obs.watch check --ignore 'test_backend_ablation/*'
+
+``report`` renders a per-series sparkline/trend summary and always exits
+zero.  ``--ignore`` takes fnmatch patterns over the ``test/metric`` series
+key — the documented way to silence a known intentional perf change (see
+``docs/self-monitoring.md``).  ``--output`` writes the report to a file
+(the CI artifact) with a one-line summary on stderr, exactly like
+``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.watch.baseline import WatchPolicy, orientation_for
+from repro.obs.watch.detect import SeriesWatcher
+from repro.obs.watch.history import BenchHistory, BenchSeries
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (empty string for an empty series)."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[min(top, int((v - low) / span * top))] for v in values
+    )
+
+
+def _iso(timestamp: float) -> str:
+    """Compact UTC ISO form of an epoch timestamp."""
+    return datetime.fromtimestamp(timestamp, tz=timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    )
+
+
+def _load_history(paths: Sequence[str]) -> BenchHistory:
+    """Aggregate BENCH arrays (files or directories) and JSONL histories."""
+    history = BenchHistory()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            history.load_dir(path)
+        elif path.suffix == ".jsonl":
+            history.load_jsonl(path)
+        else:
+            history.load_file(path)
+    return history
+
+
+def _ignored(key: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch(key, pattern) for pattern in patterns)
+
+
+def _analyze(
+    history: BenchHistory, policy: WatchPolicy, ignore: Sequence[str]
+) -> dict:
+    """Run one watcher per watchable series; returns the full report dict."""
+    rows: list[dict] = []
+    unwatched: list[str] = []
+    for series in history.all_series():
+        if _ignored(series.key, ignore):
+            rows.append(
+                {"series": series.key, "metric": series.metric, "status": "ignored",
+                 "samples": len(series)}
+            )
+            continue
+        orientation = orientation_for(series.metric)
+        if orientation is None:
+            unwatched.append(series.key)
+            continue
+        watcher = SeriesWatcher(
+            series.key, metric=series.metric, orientation=orientation, policy=policy
+        )
+        watcher.observe_many(series.values)
+        rows.append(_row(series, watcher))
+    counts: dict[str, int] = {}
+    for row in rows:
+        counts[row["status"]] = counts.get(row["status"], 0) + 1
+    return {
+        "policy": {
+            "window": policy.window,
+            "bias_mads": policy.bias_mads,
+            "threshold_mads": policy.threshold_mads,
+            "confirm": policy.confirm,
+        },
+        "records": len(history),
+        "skipped_files": list(history.skipped_files),
+        "series": rows,
+        "unwatched": sorted(unwatched),
+        "counts": counts,
+        "regressions": [r["series"] for r in rows if r["status"] == "regression"],
+    }
+
+
+def _row(series: BenchSeries, watcher: SeriesWatcher) -> dict:
+    """One report row: the watcher verdict plus trajectory provenance."""
+    row = watcher.verdict()
+    row["sparkline"] = _sparkline(series.values)
+    onset = row["onset"]
+    if onset is not None and 0 <= onset < len(series):
+        row["onset_timestamp"] = _iso(series.timestamps[onset])
+        row["onset_sha"] = series.shas[onset][:12]
+    return row
+
+
+def _text_report(report: dict) -> str:
+    """Human-readable form: one aligned line per series, worst first."""
+    order = {"regression": 0, "suspect": 1, "warming-up": 2, "ok": 3, "ignored": 4}
+    rows = sorted(report["series"], key=lambda r: (order.get(r["status"], 9), r["series"]))
+    width = max((len(r["series"]) for r in rows), default=0)
+    lines = []
+    for row in rows:
+        line = f"{row['status']:<11} {row['series']:<{width}}  n={row['samples']}"
+        if row["status"] in ("regression", "suspect"):
+            onset = row.get("onset")
+            detail = f"{row['direction']} of {row['max_magnitude']:.1f} noise units"
+            if onset is not None:
+                detail += f", onset #{onset}"
+                if row.get("onset_sha"):
+                    detail += f" @ {row['onset_sha']}"
+                if row.get("onset_timestamp"):
+                    detail += f" ({row['onset_timestamp']})"
+            line += f"  {detail}"
+        if row.get("sparkline") and row["status"] != "ignored":
+            line += f"  {row['sparkline']}"
+        lines.append(line)
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(report["counts"].items()))
+    lines.append(
+        f"{len(report['series'])} series over {report['records']} records"
+        + (f" ({counts})" if counts else "")
+    )
+    if report["regressions"]:
+        lines.append("confirmed regressions: " + ", ".join(report["regressions"]))
+    return "\n".join(lines)
+
+
+def _trend_report(report: dict) -> str:
+    """The ``report`` subcommand's sparkline/trend rendering."""
+    rows = sorted(report["series"], key=lambda r: r["series"])
+    width = max((len(r["series"]) for r in rows), default=0)
+    lines = []
+    for row in rows:
+        spark = row.get("sparkline", "")
+        line = f"{row['series']:<{width}}  {spark}"
+        last, median = row.get("last_value"), row.get("baseline_median")
+        if last is not None and median:
+            change = (last - median) / abs(median) * 100.0
+            line += f"  last {last:.6g} ({change:+.1f}% vs baseline median)"
+        elif last is not None:
+            line += f"  last {last:.6g}"
+        line += f"  [{row['status']}]"
+        lines.append(line)
+    if report["unwatched"]:
+        lines.append("unwatched (no orientation): " + ", ".join(report["unwatched"]))
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.watch",
+        description="Self-monitoring: CUSUM watchers over the repo's benchmark trajectory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("check", "scan trajectories; non-zero exit on a confirmed regression"),
+        ("report", "per-series sparkline/trend summary (always exits zero)"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "paths",
+            nargs="*",
+            help="BENCH_*.json files, directories, or .jsonl histories "
+            "(default: $BENCH_DIR or .)",
+        )
+        cmd.add_argument("--format", choices=("text", "json"), default="text")
+        cmd.add_argument("--output", default=None, help="write the report to this file")
+        cmd.add_argument(
+            "--ignore",
+            action="append",
+            default=[],
+            metavar="GLOB",
+            help="fnmatch pattern over 'test/metric' series keys to silence "
+            "(repeatable)",
+        )
+        cmd.add_argument("--window", type=int, default=WatchPolicy.window)
+        cmd.add_argument("--bias-mads", type=float, default=WatchPolicy.bias_mads)
+        cmd.add_argument(
+            "--threshold-mads", type=float, default=WatchPolicy.threshold_mads
+        )
+        cmd.add_argument("--confirm", type=int, default=WatchPolicy.confirm)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Run the watcher CLI; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        policy = WatchPolicy(
+            window=args.window,
+            bias_mads=args.bias_mads,
+            threshold_mads=args.threshold_mads,
+            confirm=args.confirm,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    paths = args.paths or [os.environ.get("BENCH_DIR") or "."]
+    history = _load_history(paths)
+    report = _analyze(history, policy, args.ignore)
+
+    if args.format == "json":
+        rendered = json.dumps(report, indent=2, sort_keys=True)
+    elif args.command == "report":
+        rendered = _trend_report(report)
+    else:
+        rendered = _text_report(report)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(
+            f"{len(report['regressions'])} confirmed regression(s) across "
+            f"{len(report['series'])} series; report written to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(rendered)
+    if args.command == "check" and report["regressions"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Live self-monitoring: the same CUSUM watchers over metric snapshots.
+
+:class:`HealthWatcher` subscribes to a :class:`~repro.obs.metrics.MetricsRegistry`
+and, on every observation, extracts one scalar per :class:`WatchSpec` from
+a snapshot — a gauge's current value or a counter's *rate* (delta between
+consecutive snapshots, which is deterministic where wall-clock-derived
+gauges are not) — and feeds it to the matching
+:class:`~repro.obs.watch.detect.SeriesWatcher`.
+
+It speaks the :class:`~repro.obs.export.PeriodicScraper` duck interface
+(``maybe_scrape(now=None)`` / ``scrape()`` plus the ``scrapes``/``path``
+attributes), so it drops straight into the ``scraper=`` hook of a running
+:class:`~repro.serve.service.MonitorService` (observed once per processed
+round) or :class:`~repro.runtime.fleet.FleetSimulator` (once per fleet
+step).  Pass an inner :class:`~repro.obs.export.PeriodicScraper` to keep
+writing exposition files while watching — ``maybe_scrape`` observes first
+and then delegates, while the shutdown ``scrape()`` only delegates (a
+flush is not a processing round, so counter-rate streams never see a
+phantom zero delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.watch.baseline import WatchPolicy
+from repro.obs.watch.detect import RegressionEvent, SeriesWatcher
+from repro.runtime.events import EventSink
+
+
+@dataclass(frozen=True)
+class WatchSpec:
+    """Which live metric stream to watch, and how.
+
+    Attributes
+    ----------
+    metric:
+        Registry metric name (a gauge or counter, per ``mode``).
+    mode:
+        ``"gauge"`` watches the instantaneous value; ``"counter-rate"``
+        watches the per-observation delta of a monotonic counter.
+    labels:
+        Exact label set selecting one cell (default: the unlabelled cell).
+    orientation:
+        ``"higher-better"`` / ``"lower-better"`` — which direction is bad.
+    key:
+        Display key for events/reports; defaults to the metric name (with
+        ``/rate`` appended in counter-rate mode).
+    """
+
+    metric: str
+    mode: str = "gauge"
+    labels: Mapping[str, str] = field(default_factory=dict)
+    orientation: str = "higher-better"
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("gauge", "counter-rate"):
+            raise ValueError(f"unknown watch mode: {self.mode!r}")
+
+    @property
+    def display_key(self) -> str:
+        """The series key used in events and reports."""
+        if self.key:
+            return self.key
+        suffix = "/rate" if self.mode == "counter-rate" else ""
+        labels = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(self.labels.items())) + "}"
+            if self.labels
+            else ""
+        )
+        return f"{self.metric}{labels}{suffix}"
+
+
+def _extract(snapshot: Mapping, spec: WatchSpec) -> Optional[float]:
+    """Pull the spec's cell value out of one registry snapshot, or None."""
+    family = "gauges" if spec.mode == "gauge" else "counters"
+    entry = snapshot.get(family, {}).get(spec.metric)
+    if entry is None:
+        return None
+    wanted = dict(spec.labels)
+    for cell in entry["values"]:
+        if cell["labels"] == wanted:
+            return float(cell["value"])
+    return None
+
+
+class HealthWatcher:
+    """Applies CUSUM watchers to live registry snapshots; scraper-compatible.
+
+    Parameters
+    ----------
+    specs:
+        The metric streams to watch.
+    registry:
+        Registry to snapshot; defaults to the ambient
+        :func:`~repro.obs.metrics.get_registry` at each observation (pass
+        a service's private registry explicitly when watching a
+        :class:`~repro.serve.service.MonitorService` constructed with
+        ``metrics=registry``).
+    policy:
+        Shared :class:`~repro.obs.watch.baseline.WatchPolicy`.
+    sinks:
+        Existing alarm sinks every :class:`RegressionEvent` flows through.
+    scraper:
+        Optional inner :class:`~repro.obs.export.PeriodicScraper`; the
+        watcher observes first, then delegates ``maybe_scrape``/``scrape``
+        so exposition files keep flowing.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[WatchSpec],
+        registry: Optional[MetricsRegistry] = None,
+        policy: Optional[WatchPolicy] = None,
+        sinks: Iterable[EventSink] = (),
+        scraper=None,
+    ) -> None:
+        self.specs = tuple(specs)
+        self.registry = registry
+        self.policy = policy or WatchPolicy()
+        self.scraper = scraper
+        self.watchers: dict[str, SeriesWatcher] = {}
+        self._spec_by_key: dict[str, WatchSpec] = {}
+        sinks = list(sinks)
+        for spec in self.specs:
+            key = spec.display_key
+            self.watchers[key] = SeriesWatcher(
+                key,
+                metric=spec.metric,
+                orientation=spec.orientation,
+                policy=self.policy,
+                sinks=sinks,
+            )
+            self._spec_by_key[key] = spec
+        self._prev_counters: dict[str, float] = {}
+        self.observations = 0
+        self.events: list[RegressionEvent] = []
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def observe(self, snapshot: Optional[Mapping] = None) -> list[RegressionEvent]:
+        """Consume one snapshot (taken live when omitted); returns new events."""
+        snap = self._registry().snapshot() if snapshot is None else snapshot
+        fresh: list[RegressionEvent] = []
+        for key, watcher in self.watchers.items():
+            spec = self._spec_by_key[key]
+            value = _extract(snap, spec)
+            if value is None:
+                continue
+            if spec.mode == "counter-rate":
+                previous = self._prev_counters.get(key)
+                self._prev_counters[key] = value
+                if previous is None:
+                    continue  # first sighting: no delta yet
+                value = value - previous
+            event = watcher.observe(value)
+            if event is not None:
+                fresh.append(event)
+        self.observations += 1
+        self.events.extend(fresh)
+        return fresh
+
+    def verdicts(self) -> list[dict]:
+        """Per-series summaries (see :meth:`SeriesWatcher.verdict`)."""
+        return [w.verdict() for w in self.watchers.values()]
+
+    @property
+    def regressed(self) -> bool:
+        """True once any watched series has a confirmed regression."""
+        return any(w.status == "regression" for w in self.watchers.values())
+
+    # -- PeriodicScraper duck interface ---------------------------------
+
+    @property
+    def scrapes(self) -> int:
+        """Scraper-protocol counter: inner scrapes, else observations."""
+        return self.scraper.scrapes if self.scraper is not None else self.observations
+
+    @property
+    def path(self):
+        """Scraper-protocol attribute: the inner scraper's path, if any."""
+        return self.scraper.path if self.scraper is not None else None
+
+    def maybe_scrape(self, now: Optional[float] = None) -> bool:
+        """Observe once, then delegate to the inner scraper (if any)."""
+        self.observe()
+        if self.scraper is not None:
+            return bool(self.scraper.maybe_scrape(now))
+        return False
+
+    def scrape(self) -> None:
+        """Force the inner scraper's final write (if any) — no observation.
+
+        ``scrape()`` is the shutdown flush a service's ``close()`` (or a
+        fleet's run end) triggers, not a new processing round: taking an
+        observation here would feed a counter-rate stream a phantom
+        zero-delta sample and raise a spurious alarm.
+        """
+        if self.scraper is not None:
+            self.scraper.scrape()
+
+
+__all__ = ["HealthWatcher", "WatchSpec"]

@@ -384,6 +384,14 @@ class FleetSimulator:
         out entirely (the baseline of the overhead benchmark).  A
         :class:`~repro.obs.metrics.MetricsRegistry` instance records into
         that registry regardless of the global flag.
+    scraper:
+        Optional scrape subscription: anything with the
+        :class:`~repro.obs.export.PeriodicScraper` interface.
+        ``maybe_scrape()`` is called once per fleet step and ``scrape()``
+        once at the end of :meth:`run`, so a scraper keeps an exposition
+        file fresh during long runs — and a
+        :class:`~repro.obs.watch.HealthWatcher` passed here watches the
+        run's live gauge/counter streams for regressions.
     """
 
     def __init__(
@@ -403,9 +411,11 @@ class FleetSimulator:
         seed: int | None = 0,
         record_traces: bool = False,
         metrics: MetricsRegistry | None | bool = None,
+        scraper=None,
     ):
         self.system = system
         self.metrics = metrics
+        self.scraper = scraper
         self.n_instances = int(check_positive("n_instances", n_instances))
         self.horizon = int(check_positive("horizon", horizon))
         self.include_process_noise = bool(include_process_noise)
@@ -609,6 +619,9 @@ class FleetSimulator:
                 recorder["states"][:, k + 1] = stepper.X
                 recorder["estimates"][:, k + 1] = stepper.Xhat
                 recorder["inputs"][:, k + 1] = stepper.U
+
+            if self.scraper is not None:
+                self.scraper.maybe_scrape()
         elapsed = started.elapsed()
 
         if registry is not None:
@@ -626,6 +639,9 @@ class FleetSimulator:
                     "fleet_throughput_steps_per_s",
                     help="Instance-steps per second of the last fleet run.",
                 ).set(N * T / elapsed, system=self.system.name)
+
+        if self.scraper is not None:
+            self.scraper.scrape()
 
         if recorder is not None:
             self.trace = FleetTrace(

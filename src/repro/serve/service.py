@@ -173,7 +173,12 @@ class MonitorService:
         Optional :class:`~repro.obs.export.PeriodicScraper`; its
         ``maybe_scrape`` hook runs after every processed round and a final
         unconditional scrape happens on :meth:`close`, making the service a
-        file-backed Prometheus scrape target.
+        file-backed Prometheus scrape target.  Anything speaking the same
+        interface fits — in particular a
+        :class:`~repro.obs.watch.HealthWatcher` built over this service's
+        ``metrics`` registry self-monitors the live gauge/counter-rate
+        streams (ingest rate, members, round cost) with the repo's own
+        CUSUM detectors, one observation per processed round.
     """
 
     def __init__(

@@ -27,7 +27,8 @@ _EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
 def _documented_modules() -> list[Path]:
     files = []
     for package in DOCUMENTED_PACKAGES:
-        files.extend(sorted((SRC / package).glob("*.py")))
+        # rglob so subpackages (e.g. repro.obs.watch) are gated too.
+        files.extend(sorted((SRC / package).rglob("*.py")))
     assert files, "documented packages not found"
     return files
 

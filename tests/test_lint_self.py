@@ -24,6 +24,15 @@ def test_src_tree_has_no_unsuppressed_findings():
     assert result.exit_code == 0
 
 
+def test_obs_watch_subpackage_is_clean_standalone():
+    # The self-monitoring layer judges the rest of the repo; it must hold
+    # itself to the same invariants with not a single unsuppressed finding.
+    result = run_lint([SRC / "repro" / "obs" / "watch"])
+    assert result.files_scanned >= 5, "obs/watch walk looks truncated"
+    rendered = "\n".join(finding.render() for finding in result.unsuppressed)
+    assert result.unsuppressed == [], f"repro.lint findings in obs/watch:\n{rendered}"
+
+
 def test_every_suppression_is_justified():
     result = run_lint([SRC])
     for finding in result.suppressed:

@@ -62,14 +62,34 @@ def test_prometheus_round_trip_with_hostile_label_values():
 
 
 def test_prometheus_round_trip_empty_instruments():
-    # Instruments with no recorded values still appear (HELP/TYPE only) and
-    # survive the round trip — except that an unobserved histogram cannot
-    # carry its bucket bounds through the text format.
+    # Instruments with no recorded values still appear and survive the round
+    # trip — including an unobserved histogram, whose bucket bounds ride an
+    # explicit all-zero series the parser recognises and drops.
     registry = MetricsRegistry(enabled=True)
     registry.counter("quiet_total", "never fired")
     registry.gauge("idle")
+    registry.histogram("silent_seconds", "never observed", buckets=(0.5, 2.0))
     parsed = parse_prometheus_text(prometheus_text(registry))
     assert parsed == registry.snapshot()
+    assert parsed["histograms"]["silent_seconds"]["buckets"] == [0.5, 2.0]
+    assert parsed["histograms"]["silent_seconds"]["values"] == []
+
+
+def test_zero_observation_histogram_emits_explicit_zero_bucket_lines():
+    registry = MetricsRegistry(enabled=True)
+    registry.histogram("silent_seconds", "never observed", buckets=(0.5, 2.0))
+    text = prometheus_text(registry)
+    assert 'silent_seconds_bucket{le="0.5"} 0' in text
+    assert 'silent_seconds_bucket{le="2"} 0' in text
+    assert 'silent_seconds_bucket{le="+Inf"} 0' in text
+    assert "silent_seconds_sum 0" in text
+    assert "silent_seconds_count 0" in text
+
+
+def test_zero_observation_histogram_round_trips_alongside_populated_one():
+    registry = _populated_registry()
+    registry.histogram("silent_seconds", "never observed", buckets=(0.5, 2.0))
+    assert parse_prometheus_text(prometheus_text(registry)) == registry.snapshot()
 
 
 def test_prometheus_defaults_to_process_registry():

@@ -193,6 +193,54 @@ def test_merge_applies_even_when_disabled():
     assert target.get("events_total").total() == 4.0
 
 
+def test_merge_disjoint_metric_sets_is_a_union():
+    # Merging registries with no metric in common simply unions them — the
+    # multiprocessing-worker case where each worker touched different layers.
+    left = MetricsRegistry(enabled=True)
+    left.counter("left_total", "only here").inc(2)
+    right = MetricsRegistry(enabled=True)
+    right.gauge("right_depth", "only there").set(5.0)
+    right.histogram("right_seconds", buckets=(1.0,)).observe(0.5)
+    left.merge(right.snapshot())
+    snap = left.snapshot()
+    assert set(snap["counters"]) == {"left_total"}
+    assert set(snap["gauges"]) == {"right_depth"}
+    assert set(snap["histograms"]) == {"right_seconds"}
+    assert left.get("left_total").total() == 2.0  # untouched by the merge
+    assert left.get("right_depth").value() == 5.0
+    assert left.get("right_seconds").count() == 1
+
+
+def test_merge_gauge_last_write_wins_depends_on_ordering():
+    # Gauges report most-recent state, so A.merge(B) and B.merge(A) disagree:
+    # whichever snapshot is merged *in* wins. Counters stay symmetric.
+    def fresh(gauge_value, counter_value):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("depth").set(gauge_value)
+        registry.counter("steps_total").inc(counter_value)
+        return registry
+
+    a_then_b = fresh(1.0, 10.0)
+    a_then_b.merge(fresh(2.0, 20.0).snapshot())
+    b_then_a = fresh(2.0, 20.0)
+    b_then_a.merge(fresh(1.0, 10.0).snapshot())
+    assert a_then_b.get("depth").value() == 2.0
+    assert b_then_a.get("depth").value() == 1.0
+    assert a_then_b.get("steps_total").total() == 30.0
+    assert b_then_a.get("steps_total").total() == 30.0
+
+
+def test_merge_unions_disjoint_label_cells_of_one_metric():
+    left = MetricsRegistry(enabled=True)
+    left.counter("events_total").inc(3, detector="cusum")
+    right = MetricsRegistry(enabled=True)
+    right.counter("events_total").inc(4, detector="static")
+    left.merge(right.snapshot())
+    assert left.get("events_total").value(detector="cusum") == 3.0
+    assert left.get("events_total").value(detector="static") == 4.0
+    assert left.get("events_total").total() == 7.0
+
+
 def test_merge_rejects_bucket_mismatch():
     snap = _populated_registry().snapshot()
     target = MetricsRegistry(enabled=True)

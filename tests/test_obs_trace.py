@@ -179,6 +179,42 @@ def test_flamegraph_folds_repeated_paths():
     assert lines[0].startswith("round ")
 
 
+def test_flamegraph_multi_branch_orders_by_descending_total_wall():
+    # Hand-built records pin wall times so the ordering is deterministic:
+    # the root dominates, then the single heavy child, then the folded pair.
+    tracer = Tracer(enabled=True)
+    tracer.records.extend(
+        [
+            SpanRecord(span_id=0, parent_id=None, name="root", wall_s=1.0),
+            SpanRecord(span_id=1, parent_id=0, name="explore", depth=1, wall_s=0.2),
+            SpanRecord(span_id=2, parent_id=0, name="explore", depth=1, wall_s=0.2),
+            SpanRecord(span_id=3, parent_id=0, name="solve", depth=1, wall_s=0.5),
+        ]
+    )
+    assert tracer.flamegraph().splitlines() == [
+        "root 1.000000 1",
+        "root;solve 0.500000 1",
+        "root;explore 0.400000 2",
+    ]
+
+
+def test_flamegraph_exact_folded_line_format():
+    # Each line must be machine-parseable: "<semicolon path> <wall.6f> <count>".
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer"):
+        with tracer.span("inner", backend="lp"):
+            pass
+    for line in tracer.flamegraph().splitlines():
+        path, wall, count = line.split(" ")
+        assert path in ("outer", "outer;inner")
+        assert float(wall) >= 0.0 and "." in wall and len(wall.split(".")[1]) == 6
+        assert count == "1"
+
+
+def test_flamegraph_of_empty_tracer_is_empty():
+    assert Tracer(enabled=True).flamegraph() == ""
+
+
 def test_clear_drops_memory_but_not_file(tmp_path):
     path = tmp_path / "trace.jsonl"
     with Tracer(enabled=True, path=path) as tracer:

@@ -1,0 +1,164 @@
+"""Tests for ``python -m repro.obs.watch`` (`repro.obs.watch.cli`)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.watch.cli import _sparkline, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BENIGN = [100.0, 101.0, 99.0, 102.0, 98.0, 100.0, 101.0, 99.0, 100.0, 102.0]
+
+
+def _write_history(directory, name, values, metric="throughput"):
+    records = [
+        {
+            "name": name,
+            "timestamp": float(index),
+            "timing_disabled": False,
+            "git_sha": f"sha{index:04d}",
+            "git_dirty": False,
+            metric: value,
+        }
+        for index, value in enumerate(values)
+    ]
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(records))
+
+
+class TestSparkline:
+    def test_levels_span_the_range(self):
+        assert _sparkline([0.0, 1.0]) == "▁█"
+        assert _sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+        assert _sparkline([]) == ""
+
+
+class TestCheck:
+    def test_clean_history_exits_zero(self, tmp_path, capsys):
+        _write_history(tmp_path, "test_clean", BENIGN + BENIGN)
+        assert main(["check", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "test_clean/throughput" in out
+
+    def test_injected_step_change_gates_with_onset(self, tmp_path, capsys):
+        step_at = 14
+        values = BENIGN + [100.0, 99.0, 101.0, 100.0] + [50.0] * 6
+        _write_history(tmp_path, "test_step", values)
+        assert main(["check", str(tmp_path), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        [row] = [r for r in report["series"] if r["series"] == "test_step/throughput"]
+        assert row["status"] == "regression"
+        assert abs(row["onset"] - step_at) <= 2
+        # Provenance attributes the onset to a record's commit.
+        assert row["onset_sha"].startswith("sha")
+        assert report["regressions"] == ["test_step/throughput"]
+
+    def test_unmodified_copy_of_same_history_stays_quiet(self, tmp_path):
+        _write_history(tmp_path, "test_same", BENIGN + [100.0, 99.0, 101.0, 100.0] * 3)
+        assert main(["check", str(tmp_path)]) == 0
+
+    def test_short_history_is_warn_only(self, tmp_path, capsys):
+        # Even a catastrophic drop cannot gate while under the warm-up window.
+        _write_history(tmp_path, "test_short", [100.0, 100.0, 5.0])
+        assert main(["check", str(tmp_path)]) == 0
+        assert "warming-up" in capsys.readouterr().out
+
+    def test_ignore_silences_a_known_regression(self, tmp_path):
+        values = BENIGN + [50.0] * 6
+        _write_history(tmp_path, "test_known", values)
+        assert main(["check", str(tmp_path)]) == 1
+        assert main(["check", str(tmp_path), "--ignore", "test_known/*"]) == 0
+
+    def test_output_file_and_stderr_summary(self, tmp_path, capsys):
+        _write_history(tmp_path, "test_out", BENIGN + BENIGN)
+        out_file = tmp_path / "watch-report.json"
+        assert (
+            main(["check", str(tmp_path), "--format", "json", "--output", str(out_file)])
+            == 0
+        )
+        report = json.loads(out_file.read_text())
+        assert report["counts"] == {"ok": 1}
+        assert "report written to" in capsys.readouterr().err
+
+    def test_policy_knobs_change_the_verdict(self, tmp_path):
+        values = BENIGN + [50.0] * 6
+        _write_history(tmp_path, "test_knobs", values)
+        # An absurd threshold swallows the drop.
+        assert (
+            main(["check", str(tmp_path), "--threshold-mads", "1e9"]) == 0
+        )
+        # A longer warm-up leaves the series warming up.
+        assert main(["check", str(tmp_path), "--window", "30"]) == 0
+
+    def test_invalid_policy_is_a_usage_error(self, tmp_path):
+        assert main(["check", str(tmp_path), "--window", "1"]) == 2
+
+    def test_jsonl_history_is_accepted(self, tmp_path):
+        path = tmp_path / "acc.jsonl"
+        with path.open("w") as handle:
+            for index, value in enumerate(BENIGN + [50.0] * 6):
+                handle.write(
+                    json.dumps(
+                        {
+                            "name": "test_acc",
+                            "timestamp": float(index),
+                            "timing_disabled": False,
+                            "throughput": value,
+                        }
+                    )
+                    + "\n"
+                )
+        assert main(["check", str(path)]) == 1
+
+    def test_real_repo_bench_files_all_parse(self, capsys):
+        """Acceptance: the CLI consumes every committed BENCH record."""
+        if not sorted(REPO_ROOT.glob("BENCH_*.json")):
+            pytest.skip("no BENCH_*.json trajectory in this checkout")
+        total = sum(
+            len(json.loads(p.read_text())) for p in REPO_ROOT.glob("BENCH_*.json")
+        )
+        code = main(["check", str(REPO_ROOT), "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["skipped_files"] == []
+        # Dedupe can only remove byte-identical records, never lose content.
+        assert report["records"] <= total
+        assert report["series"], "the committed trajectory yields watchable series"
+        # Exit code reflects the current trajectory's health; both outcomes
+        # are legal here, but the scan itself must complete.
+        assert code in (0, 1)
+
+
+class TestReport:
+    def test_trend_summary_renders_sparkline_and_change(self, tmp_path, capsys):
+        _write_history(tmp_path, "test_trend", BENIGN + [90.0])
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "test_trend/throughput" in out
+        assert "▁" in out or "█" in out
+        assert "% vs baseline median" in out
+
+    def test_report_never_gates(self, tmp_path):
+        _write_history(tmp_path, "test_gate", BENIGN + [50.0] * 6)
+        assert main(["report", str(tmp_path)]) == 0
+
+    def test_unwatched_metrics_are_listed(self, tmp_path, capsys):
+        _write_history(tmp_path, "test_const", [1.0] * 12, metric="instance_steps")
+        main(["report", str(tmp_path)])
+        assert "unwatched" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs(self, tmp_path):
+        _write_history(tmp_path, "test_entry", BENIGN + BENIGN)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.watch", "check", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "test_entry/throughput" in proc.stdout

@@ -1,0 +1,221 @@
+"""Tests for live self-monitoring (`repro.obs.watch.service`)."""
+
+import pytest
+
+from repro.obs.export import PeriodicScraper, parse_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.watch import HealthWatcher, WatchPolicy, WatchSpec
+from repro.obs.watch.service import _extract
+from repro.runtime.events import InMemorySink
+from repro.runtime.fleet import FleetSimulator
+from repro.serve import MonitorService
+
+
+class TestWatchSpec:
+    def test_display_key_forms(self):
+        assert WatchSpec("serve_members").display_key == "serve_members"
+        assert (
+            WatchSpec("serve_samples_ingested_total", mode="counter-rate").display_key
+            == "serve_samples_ingested_total/rate"
+        )
+        assert (
+            WatchSpec("fleet_run_seconds_sum", labels={"system": "vsc"}).display_key
+            == "fleet_run_seconds_sum{system=vsc}"
+        )
+        assert WatchSpec("x", key="custom").display_key == "custom"
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            WatchSpec("x", mode="histogram")
+
+    def test_extract_matches_exact_label_set(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("g", help="").set(3.0)
+        registry.gauge("g", help="").set(7.0, system="vsc")
+        snap = registry.snapshot()
+        assert _extract(snap, WatchSpec("g")) == 3.0
+        assert _extract(snap, WatchSpec("g", labels={"system": "vsc"})) == 7.0
+        assert _extract(snap, WatchSpec("g", labels={"system": "other"})) is None
+        assert _extract(snap, WatchSpec("absent")) is None
+
+
+class TestHealthWatcher:
+    def _gauge_watcher(self, registry, **kwargs):
+        return HealthWatcher(
+            [WatchSpec("rate", mode="gauge", orientation="higher-better")],
+            registry=registry,
+            policy=WatchPolicy(window=5, confirm=2),
+            **kwargs,
+        )
+
+    def test_gauge_stream_regression(self):
+        registry = MetricsRegistry(enabled=True)
+        gauge = registry.gauge("rate", help="")
+        sink = InMemorySink()
+        watcher = self._gauge_watcher(registry, sinks=[sink])
+        for value in (100.0, 101.0, 99.0, 100.0, 100.0, 100.0, 100.0):
+            gauge.set(value)
+            watcher.observe()
+        assert not watcher.regressed
+        for _ in range(3):
+            gauge.set(10.0)
+            watcher.observe()
+        assert watcher.regressed
+        assert sink.by_detector("watch:rate")
+        [verdict] = watcher.verdicts()
+        assert verdict["status"] == "regression"
+
+    def test_counter_rate_skips_first_sighting(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("events_total", help="")
+        watcher = HealthWatcher(
+            [WatchSpec("events_total", mode="counter-rate")],
+            registry=registry,
+            policy=WatchPolicy(window=3),
+        )
+        counter.inc(5)
+        watcher.observe()
+        [w] = watcher.watchers.values()
+        assert w.index == -1  # no delta on the first sighting
+        counter.inc(5)
+        watcher.observe()
+        assert w.index == 0 and w.last_value == 5.0
+
+    def test_missing_metric_contributes_nothing(self):
+        registry = MetricsRegistry(enabled=True)
+        watcher = self._gauge_watcher(registry)
+        watcher.observe()
+        [w] = watcher.watchers.values()
+        assert w.index == -1 and watcher.observations == 1
+
+    def test_scraper_protocol_delegates_to_inner(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("rate", help="").set(1.0)
+        inner = PeriodicScraper(tmp_path / "metrics.prom", registry, interval_s=0.0)
+        watcher = self._gauge_watcher(registry, scraper=inner)
+        assert watcher.maybe_scrape() is True
+        watcher.scrape()
+        assert watcher.scrapes == 2 and watcher.path == inner.path
+        assert watcher.observations == 1  # scrape() is a flush, not a round
+        snap = parse_prometheus_text((tmp_path / "metrics.prom").read_text())
+        assert snap["gauges"]["rate"]["values"][0]["value"] == 1.0
+
+    def test_scraper_protocol_standalone(self):
+        registry = MetricsRegistry(enabled=True)
+        watcher = self._gauge_watcher(registry)
+        assert watcher.maybe_scrape() is False
+        watcher.scrape()
+        assert watcher.scrapes == 1 and watcher.path is None
+
+
+class TestLiveService:
+    """The acceptance criterion: a live ingest-rate collapse is flagged."""
+
+    def test_ingest_rate_collapse_flagged_through_sinks(self, dcmotor_problem):
+        registry = MetricsRegistry(enabled=True)
+        sink = InMemorySink()
+        watcher = HealthWatcher(
+            [
+                WatchSpec(
+                    "serve_samples_ingested_total",
+                    mode="counter-rate",
+                    orientation="higher-better",
+                )
+            ],
+            registry=registry,
+            policy=WatchPolicy(window=8, confirm=2),
+            sinks=[sink],
+        )
+        service = MonitorService(
+            dcmotor_problem.system,
+            {"static": dcmotor_problem.static_threshold(0.5)},
+            metrics=registry,
+            scraper=watcher,
+        )
+        members = 3
+        for i in range(members):
+            service.attach(i)
+        # Phase 1: steady state — every instance ingests once per round, so
+        # the counter-rate stream sits at `members` samples per round.
+        for _ in range(12):
+            for i in range(members):
+                service.ingest(i, [0.0])
+        assert not watcher.regressed
+        # Phase 2: collapse — instance-major bursts mean rounds drain one
+        # sample at a time, so the per-round ingest rate drops to ~1.
+        for i in range(members):
+            for _ in range(6):
+                service.ingest(i, [0.0])
+        assert watcher.regressed
+        key = "serve_samples_ingested_total/rate"
+        events = sink.by_detector(f"watch:{key}")
+        assert events, "alarms must flow through the existing sink layer"
+        confirmed = [e for e in events if e.confirmed]
+        assert confirmed and confirmed[0].direction == "drop"
+        # The steady phase contributes ~`members`-per-round samples; the
+        # collapse onset lands where the 1-per-round rounds begin.
+        [w] = watcher.watchers.values()
+        assert w.baseline is not None and w.baseline.median == members
+        assert confirmed[0].value == 1.0
+        service.close()
+
+    def test_clean_service_run_raises_no_watch_alarm(self, dcmotor_problem):
+        registry = MetricsRegistry(enabled=True)
+        sink = InMemorySink()
+        watcher = HealthWatcher(
+            [
+                WatchSpec(
+                    "serve_samples_ingested_total",
+                    mode="counter-rate",
+                    orientation="higher-better",
+                )
+            ],
+            registry=registry,
+            policy=WatchPolicy(window=8, confirm=2),
+            sinks=[sink],
+        )
+        service = MonitorService(
+            dcmotor_problem.system,
+            {"static": dcmotor_problem.static_threshold(0.5)},
+            metrics=registry,
+            scraper=watcher,
+        )
+        for i in range(3):
+            service.attach(i)
+        for _ in range(30):
+            for i in range(3):
+                service.ingest(i, [0.0])
+        service.close()
+        assert not watcher.regressed
+        assert len(sink) == 0
+
+
+class TestFleetScraperHook:
+    def test_fleet_calls_scraper_every_step_and_once_at_end(self, simple_closed_loop):
+        registry = MetricsRegistry(enabled=True)
+        horizon = 7
+        watcher = HealthWatcher(
+            [WatchSpec("fleet_steps_total", mode="counter-rate")],
+            registry=registry,
+            policy=WatchPolicy(window=3),
+        )
+        fleet = FleetSimulator(
+            simple_closed_loop,
+            n_instances=2,
+            horizon=horizon,
+            metrics=registry,
+            scraper=watcher,
+        )
+        fleet.run()
+        # maybe_scrape (one observation) per step; the final scrape is a
+        # write-only flush.
+        assert watcher.observations == horizon
+
+    def test_fleet_with_periodic_scraper_writes_exposition(self, simple_closed_loop, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        scraper = PeriodicScraper(tmp_path / "fleet.prom", registry, interval_s=0.0)
+        FleetSimulator(
+            simple_closed_loop, n_instances=2, horizon=3, metrics=registry, scraper=scraper
+        ).run()
+        snap = parse_prometheus_text((tmp_path / "fleet.prom").read_text())
+        assert snap["counters"]["fleet_steps_total"]["values"][0]["value"] == 6.0
