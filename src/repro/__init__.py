@@ -144,6 +144,7 @@ from repro.registry import (
     available_case_studies,
     available_attack_templates,
     available_samplers,
+    available_engines,
     get_case_study,
     get_noise_model,
     get_detector,
@@ -237,6 +238,7 @@ __all__ = [
     "available_case_studies",
     "available_attack_templates",
     "available_samplers",
+    "available_engines",
     "register_sampler",
     "get_sampler",
     "get_backend",

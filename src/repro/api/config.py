@@ -33,6 +33,7 @@ from repro.registry import (
     BACKENDS,
     CASE_STUDIES,
     DETECTORS,
+    ENGINES,
     NOISE_MODELS,
     SYNTHESIZERS,
 )
@@ -462,6 +463,11 @@ class RuntimeConfig:
     record_traces:
         Keep the full fleet trajectories on the report metadata (memory
         scales with ``N * horizon``; off by default).
+    engine / engine_options:
+        Registry name (and constructor kwargs) of the fleet execution
+        engine: ``"legacy"`` (the per-step reference loop) or ``"fused"``
+        (the block-GEMM kernel of :mod:`repro.runtime.kernel`, taking
+        ``dtype`` and ``workers``).
     """
 
     n_instances: int = 100
@@ -481,6 +487,8 @@ class RuntimeConfig:
     seed: int | None = 0
     events_path: str | None = None
     record_traces: bool = False
+    engine: str = "legacy"
+    engine_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.n_instances = int(self.n_instances)
@@ -539,6 +547,12 @@ class RuntimeConfig:
             attacks.append(entry)
         self.attacks = attacks
         self.noise_scale = float(self.noise_scale)
+        self.engine = str(self.engine)
+        if self.engine not in ENGINES:
+            raise ValidationError(
+                f"unknown engine {self.engine!r}; "
+                f"available: {', '.join(ENGINES.available())}"
+            )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -566,6 +580,8 @@ class RuntimeConfig:
             "seed": self.seed,
             "events_path": self.events_path,
             "record_traces": self.record_traces,
+            "engine": self.engine,
+            "engine_options": dict(self.engine_options),
         }
 
     @classmethod
@@ -634,6 +650,10 @@ class ServiceConfig:
     sink_policy:
         The wrapped sinks' overflow policy: ``"block"``, ``"drop-oldest"``
         or ``"drop-newest"``.
+    engine / engine_options:
+        Registry name (and constructor kwargs) of the round-evaluation
+        engine: ``"legacy"`` (per-core loop) or ``"fused"`` (vectorized
+        :class:`~repro.runtime.kernel.serve.FusedServicePlan` rounds).
     """
 
     case_study: str | None = None
@@ -650,6 +670,8 @@ class ServiceConfig:
     flush_every: int = 1
     sink_capacity: int | None = None
     sink_policy: str = "block"
+    engine: str = "legacy"
+    engine_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.case_study is not None:
@@ -694,6 +716,12 @@ class ServiceConfig:
                 f"unknown sink_policy {self.sink_policy!r}; "
                 f"expected one of {_SINK_POLICIES}"
             )
+        self.engine = str(self.engine)
+        if self.engine not in ENGINES:
+            raise ValidationError(
+                f"unknown engine {self.engine!r}; "
+                f"available: {', '.join(ENGINES.available())}"
+            )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -716,6 +744,8 @@ class ServiceConfig:
             "flush_every": self.flush_every,
             "sink_capacity": self.sink_capacity,
             "sink_policy": self.sink_policy,
+            "engine": self.engine,
+            "engine_options": dict(self.engine_options),
         }
 
     @classmethod

@@ -36,6 +36,7 @@ REGISTRY_VARS = frozenset(
         "CASE_STUDIES",
         "ATTACK_TEMPLATES",
         "SAMPLERS",
+        "ENGINES",
     }
 )
 
@@ -54,6 +55,7 @@ KIND_TO_VAR = {
     "attack_template": "ATTACK_TEMPLATES",
     "attack template": "ATTACK_TEMPLATES",
     "sampler": "SAMPLERS",
+    "engine": "ENGINES",
 }
 
 

@@ -7,7 +7,7 @@ This module replaces them with one mechanism: a :class:`Registry` per
 component kind, populated by ``@register`` decorators at class/function
 definition time, with dynamic error messages and introspection helpers.
 
-Seven registries ship with the library:
+Eight registries ship with the library:
 
 ==================  =============================================  =========================
 registry            built-in names                                 registered object
@@ -24,6 +24,7 @@ registry            built-in names                                 registered ob
 ``ATTACK_TEMPLATES``  ``none``, ``bias``, ``ramp``, ``surge``,     parametric attack template
                     ``geometric``, ``replay``
 ``SAMPLERS``        ``grid``, ``adaptive-bisection``               design-space sampler
+``ENGINES``         ``legacy``, ``fused``                          fleet execution engine
 ==================  =============================================  =========================
 
 Downstream users extend any of them::
@@ -173,6 +174,7 @@ NOISE_MODELS = Registry("noise model", ("repro.noise.models",))
 CASE_STUDIES = Registry("case study", ("repro.systems",))
 ATTACK_TEMPLATES = Registry("attack template", ("repro.attacks.templates",))
 SAMPLERS = Registry("sampler", ("repro.explore.space",))
+ENGINES = Registry("engine", ("repro.runtime.kernel.runner",))
 
 REGISTRIES: dict[str, Registry] = {
     "backend": BACKENDS,
@@ -182,6 +184,7 @@ REGISTRIES: dict[str, Registry] = {
     "case_study": CASE_STUDIES,
     "attack_template": ATTACK_TEMPLATES,
     "sampler": SAMPLERS,
+    "engine": ENGINES,
 }
 
 
@@ -235,6 +238,11 @@ def available_attack_templates() -> list[str]:
 def available_samplers() -> list[str]:
     """Names of the registered design-space samplers."""
     return SAMPLERS.available()
+
+
+def available_engines() -> list[str]:
+    """Names of the registered fleet execution engines."""
+    return ENGINES.available()
 
 
 def register_sampler(name: str, obj: object | None = None, *, overwrite: bool = False):

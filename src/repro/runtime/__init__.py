@@ -12,6 +12,10 @@ The synthesis pipeline (:mod:`repro.api`) produces detectors; this package
 * the :class:`FleetSimulator` — N closed-loop instances advanced step by
   step in batched numpy, with per-instance noise streams and a scheduled
   attack injector (:class:`ScheduledAttack`);
+* pluggable execution engines (:class:`LegacyEngine`, :class:`FusedEngine`
+  from :mod:`repro.runtime.kernel`, selected by ``engine="legacy"/"fused"``
+  through :data:`repro.registry.ENGINES`) — the fused kernel collapses each
+  fleet step into one block GEMM while staying bit-identical in float64;
 * an event layer (:class:`AlarmEvent`, :class:`InMemorySink`,
   :class:`JSONLSink`) and the :class:`FleetReport` aggregate;
 * the config-driven :func:`run_fleet` entry point (see
@@ -38,6 +42,7 @@ from repro.runtime.online import (
 )
 from repro.runtime.report import DetectorFleetStats, FleetReport
 from repro.runtime.engine import run_fleet
+from repro.runtime.kernel import FusedEngine, LegacyEngine
 
 __all__ = [
     "AlarmEvent",
@@ -51,7 +56,9 @@ __all__ = [
     "FleetReport",
     "FleetSimulator",
     "FleetTrace",
+    "FusedEngine",
     "InMemorySink",
+    "LegacyEngine",
     "JSONLSink",
     "OnlineChiSquare",
     "OnlineCusum",

@@ -49,6 +49,15 @@ class BatchDetector(abc.ABC):
         monitors).
     n_instances:
         Number of fleet instances stepped in parallel.
+    version:
+        Cache epoch.  Incremented by every operation that changes the core's
+        membership or parameters (:meth:`grow`, :meth:`compact`,
+        :meth:`rebind`) *without* touching surviving per-instance state.
+        Fused execution plans (``repro.runtime.kernel.serve``) key their
+        pre-stacked block matrices on this counter, so a mid-run attach or
+        threshold hot-swap rebuilds the stacks instead of silently applying
+        stale parameters — while detector state, which lives in the core and
+        never in the plan, survives the rebuild bit-for-bit.
     """
 
     consumes: str = "residues"
@@ -56,6 +65,7 @@ class BatchDetector(abc.ABC):
     def __init__(self, n_instances: int):
         self.n_instances = int(check_positive("n_instances", n_instances))
         self._step_index = 0
+        self.version = 0
 
     @property
     def step_index(self) -> int:
@@ -90,6 +100,7 @@ class BatchDetector(abc.ABC):
             raise ValidationError("grow requires a positive instance count")
         self._grow_state(count)
         self.n_instances += count
+        self.version += 1
 
     def compact(self, keep: np.ndarray) -> None:
         """Shrink the batch to the given instance rows.
@@ -109,6 +120,7 @@ class BatchDetector(abc.ABC):
                 raise ValidationError("compact indices must be strictly increasing")
         self._compact_state(keep)
         self.n_instances = int(keep.size)
+        self.version += 1
 
     def _grow_state(self, count: int) -> None:
         """Per-core hook: append ``count`` fresh rows to every state array."""
@@ -195,6 +207,7 @@ class BatchThresholdDetector(BatchDetector):
                     "BatchThresholdDetector rebinds to a ThresholdVector"
                 ) from error
         self.threshold = threshold
+        self.version += 1
 
 
 class BatchCusum(BatchDetector):
@@ -231,6 +244,7 @@ class BatchCusum(BatchDetector):
         if not isinstance(detector, CusumDetector):
             raise ValidationError("BatchCusum rebinds to a CusumDetector")
         self.detector = detector
+        self.version += 1
 
 
 class BatchChiSquare(BatchDetector):
@@ -258,6 +272,7 @@ class BatchChiSquare(BatchDetector):
         if not isinstance(detector, ChiSquareDetector):
             raise ValidationError("BatchChiSquare rebinds to a ChiSquareDetector")
         self.detector = detector
+        self.version += 1
 
 
 # ----------------------------------------------------------------------
@@ -474,6 +489,7 @@ class BatchMonitor(BatchDetector):
         replacement.adopt(self._root)
         self.monitor = monitor
         self._root = replacement
+        self.version += 1
 
     @property
     def state(self) -> dict:

@@ -238,6 +238,8 @@ def run_fleet(
         seed=config.seed,
         record_traces=config.record_traces,
         metrics=metrics,
+        engine=config.engine,
+        engine_options=config.engine_options,
     )
     try:
         report = simulator.run()

@@ -20,6 +20,12 @@ Three layers build on the shared :class:`_BatchStepper`:
   residues/measurements to the deployed online detectors, pushes
   :class:`~repro.runtime.events.AlarmEvent` batches into the sinks, and
   aggregates a :class:`~repro.runtime.report.FleetReport`.
+
+Both entry points accept an ``engine`` name resolved through
+:data:`repro.registry.ENGINES`: ``"legacy"`` (this module's per-step
+pipeline, the default) or ``"fused"`` (the block-fused kernel of
+:mod:`repro.runtime.kernel`, bit-identical in float64 and gated by a
+differential probe).
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from repro.noise.models import GaussianNoise, NoiseModel
 from repro.obs.clock import Stopwatch
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import span
+from repro.registry import ENGINES
 from repro.runtime.batch import BatchDetector, make_batched
 from repro.runtime.events import AlarmEvent, EventSink
 from repro.runtime.report import FleetReport, build_detector_stats
@@ -179,6 +186,8 @@ def batch_simulate(
     process_noise: np.ndarray | None = None,
     attacks: np.ndarray | None = None,
     n_instances: int | None = None,
+    engine: str = "legacy",
+    engine_options: Mapping[str, object] | None = None,
 ) -> FleetTrace:
     """Simulate ``N`` instances of one closed loop in batched numpy.
 
@@ -197,6 +206,10 @@ def batch_simulate(
         / ``(N, T, m)``; ``None`` means zero.
     n_instances:
         Fleet size; only needed when every per-instance argument is ``None``.
+    engine / engine_options:
+        Execution engine name from :data:`repro.registry.ENGINES` plus its
+        constructor options (e.g. ``engine="fused"``,
+        ``engine_options={"dtype": "float32", "workers": 4}``).
 
     Returns
     -------
@@ -207,7 +220,7 @@ def batch_simulate(
     """
     plant = system.plant
     T = int(check_positive("horizon", horizon))
-    n, m, p = plant.n_states, plant.n_outputs, plant.n_inputs
+    n, m = plant.n_states, plant.n_outputs
 
     for candidate in (measurement_noise, process_noise, attacks):
         if candidate is not None:
@@ -231,43 +244,9 @@ def batch_simulate(
     has_process_noise = process_noise is not None
     has_attack = attacks is not None
 
-    stepper = _BatchStepper(system, X0, Xhat0)
-    states = np.zeros((N, T + 1, n))
-    estimates = np.zeros((N, T + 1, n))
-    inputs = np.zeros((N, T + 1, p))
-    measurements = np.zeros((N, T, m))
-    true_outputs = np.zeros((N, T, m))
-    residues = np.zeros((N, T, m))
-
-    states[:, 0] = stepper.X
-    estimates[:, 0] = stepper.Xhat
-    inputs[:, 0] = stepper.U
-
-    for k in range(T):
-        y_true, y_attacked, z = stepper.step(
-            V[:, k],
-            W[:, k] if has_process_noise else None,
-            A[:, k] if has_attack else None,
-        )
-        true_outputs[:, k] = y_true
-        measurements[:, k] = y_attacked
-        residues[:, k] = z
-        states[:, k + 1] = stepper.X
-        estimates[:, k + 1] = stepper.Xhat
-        inputs[:, k + 1] = stepper.U
-
-    return FleetTrace(
-        states=states,
-        estimates=estimates,
-        inputs=inputs,
-        measurements=measurements,
-        true_outputs=true_outputs,
-        residues=residues,
-        attacks=A,
-        process_noise=W,
-        measurement_noise=V,
-        dt=system.dt,
-        metadata={"system": system.name},
+    runner = ENGINES.create(engine, **dict(engine_options or {}))
+    return runner.batch_trace(
+        system, T, X0, Xhat0, V, W, A, has_process_noise, has_attack
     )
 
 
@@ -392,6 +371,14 @@ class FleetSimulator:
         file fresh during long runs — and a
         :class:`~repro.obs.watch.HealthWatcher` passed here watches the
         run's live gauge/counter streams for regressions.
+    engine:
+        Execution engine name from :data:`repro.registry.ENGINES`:
+        ``"legacy"`` (default, this module's streaming per-step pipeline) or
+        ``"fused"`` (the block-fused kernel, bit-identical in float64).
+    engine_options:
+        Constructor options for the engine, e.g. ``{"dtype": "float32",
+        "workers": 4}`` for the fused kernel.  Validated when :meth:`run`
+        resolves the engine.
     """
 
     def __init__(
@@ -412,10 +399,14 @@ class FleetSimulator:
         record_traces: bool = False,
         metrics: MetricsRegistry | None | bool = None,
         scraper=None,
+        engine: str = "legacy",
+        engine_options: Mapping[str, object] | None = None,
     ):
         self.system = system
         self.metrics = metrics
         self.scraper = scraper
+        self.engine = str(engine)
+        self.engine_options = dict(engine_options or {})
         self.n_instances = int(check_positive("n_instances", n_instances))
         self.horizon = int(check_positive("horizon", horizon))
         self.include_process_noise = bool(include_process_noise)
@@ -502,18 +493,20 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     def run(self) -> FleetReport:
         """Step the whole fleet through the horizon and aggregate the report."""
+        runner = ENGINES.create(self.engine, **self.engine_options)
         if self.metrics is False:
-            return self._run()
+            return runner.run_fleet(self)
         with span(
             "fleet.run",
             system=self.system.name,
             n_instances=self.n_instances,
             horizon=self.horizon,
+            engine=self.engine,
         ):
-            return self._run()
+            return runner.run_fleet(self)
 
     def _run(self) -> FleetReport:
-        """The :meth:`run` body (split out so the span wrapper stays thin)."""
+        """The legacy-engine run body (the fused kernel's bit-for-bit reference)."""
         plant = self.system.plant
         T, N = self.horizon, self.n_instances
         n, m, p = plant.n_states, plant.n_outputs, plant.n_inputs

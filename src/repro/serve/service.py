@@ -54,6 +54,7 @@ from repro.runtime.batch import (
 )
 from repro.obs.clock import Stopwatch
 from repro.obs.metrics import MetricsRegistry
+from repro.registry import ENGINES
 from repro.runtime.events import AlarmEvent, EventSink
 from repro.serve.log import ServiceLog
 from repro.serve.observer import BatchObserver
@@ -179,6 +180,15 @@ class MonitorService:
         ``metrics`` registry self-monitors the live gauge/counter-rate
         streams (ingest rate, members, round cost) with the repo's own
         CUSUM detectors, one observation per processed round.
+    engine / engine_options:
+        Name (from :data:`repro.registry.ENGINES`) and constructor options
+        of the round-evaluation engine.  ``"legacy"`` (default) steps every
+        core per round; ``"fused"`` evaluates rounds through a version-keyed
+        :class:`~repro.runtime.kernel.serve.FusedServicePlan` that shares
+        norm computations across the bank.  Alarm decisions, event ordering
+        and per-instance detector state are identical either way — attach/
+        detach/hot-swap bump each core's ``version``, which rebuilds the
+        fused plan without resetting surviving instances.
     """
 
     def __init__(
@@ -196,6 +206,8 @@ class MonitorService:
         metadata: dict | None = None,
         metrics: MetricsRegistry | None = None,
         scraper=None,
+        engine: str = "legacy",
+        engine_options: Mapping[str, object] | None = None,
     ):
         if residue_source not in RESIDUE_SOURCES:
             raise ValidationError(
@@ -217,6 +229,9 @@ class MonitorService:
         self.sinks = list(sinks)
         self.log = log if log is not None else ServiceLog()
         self.metadata = dict(metadata or {})
+        self.engine = str(engine)
+        self.engine_options = dict(engine_options or {})
+        self._engine = ENGINES.create(self.engine, **self.engine_options)
 
         # Cores cannot be built empty (n_instances is validated positive), so
         # materialise each with one placeholder row and compact it away.
@@ -293,6 +308,7 @@ class MonitorService:
                 "ring_capacity": self.ring_capacity,
                 "overflow": self.overflow,
                 "detectors": list(self.detectors),
+                "engine": self.engine,
                 "metadata": self.metadata,
             },
         )
@@ -494,9 +510,9 @@ class MonitorService:
         else:
             residues = block[:, self._n_outputs :]
         steps = list(self._local_steps)
-        for label, core in self.detectors.items():
-            values = residues if core.consumes == "residues" else measurements
-            alarms = core.step(values)
+        round_alarms = self._engine.service_round(self.detectors, residues, measurements)
+        for label in self.detectors:
+            alarms = round_alarms[label]
             if not np.any(alarms):
                 continue
             alarmed = self._alarmed[label]

@@ -86,6 +86,28 @@ class TestDocstrings:
         assert "synthesis key" in store.__doc__ and "evaluation key" in store.__doc__
         assert store.ResultStore.__doc__
 
+    def test_kernel_documents_its_equivalence_contract(self):
+        from repro.runtime.kernel import core, lanes, runner
+
+        # The fused stepper's docs must state the gate, not just the layout:
+        # bit-identity is probed empirically, and the signed-zero caveat of
+        # the skipped feed-through add is spelled out.
+        assert "bit-identical" in core.__doc__
+        assert "probe" in core.probe_fused_equivalence.__doc__
+        assert "Signed-zero" in core.__doc__
+        # The sharding contract promises contiguous carving and event
+        # ordering independent of workers, with the clamp as the backstop.
+        assert "contiguous" in runner.__doc__
+        assert "clamp" in runner.__doc__
+        assert "Exactness contract" in lanes.__doc__
+        # Float32 acceptance bounds live with the tests that enforce them.
+        float32_doc = ast.get_docstring(
+            ast.parse(
+                (REPO_ROOT / "tests" / "test_runtime_kernel_float32.py").read_text()
+            )
+        )
+        assert "rtol = 1e-3" in float32_doc
+
 
 class TestMarkdownLinks:
     @pytest.mark.parametrize("page", _doc_pages(), ids=lambda p: p.name)
@@ -108,6 +130,7 @@ class TestMarkdownLinks:
         assert "docs/architecture.md" in readme
         assert "docs/exploration.md" in readme
         assert "docs/observability.md" in readme
+        assert "docs/runtime-kernel.md" in readme
 
     def test_observability_doc_covers_the_obs_contract(self):
         page = (REPO_ROOT / "docs" / "observability.md").read_text()

@@ -1,0 +1,149 @@
+"""Float32 fast-mode acceptance: the documented accuracy envelope, enforced.
+
+``engine="fused"`` with ``dtype="float32"`` trades the float64 bit-identity
+contract for speed.  This suite pins the trade-off to concrete, documented
+numbers (the same envelope stated in ``docs/runtime-kernel.md``):
+
+* **Residues** — every per-step residue of a float32 run matches the float64
+  run within ``rtol = 1e-3, atol = 1e-5`` (measured typical worst case on
+  the packaged case studies is ~1e-4 relative; the bound leaves headroom for
+  other BLAS builds).
+* **Alarm decisions** — with thresholds placed *on* the benign norm
+  distribution (the adversarial placement for rounding), the number of
+  per-``(instance, step, detector)`` alarm decisions that differ between
+  float32 and float64 is counted explicitly and must stay at or below
+  ``MAX_DECISION_DIVERGENCE_FRACTION`` of all decisions.
+* **Benign FAR** — each detector's per-step and per-instance false-alarm
+  rates match float64 within ``MAX_FAR_DIVERGENCE`` absolute.
+
+Divergent decisions only occur when a residue norm lands within float32
+rounding distance of the threshold, which is why the rates stay this close:
+the envelope is a property of the decision margin, not of luck.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors.cusum import CusumDetector
+from repro.registry import CASE_STUDIES
+from repro.runtime.events import InMemorySink
+from repro.runtime.fleet import FleetSimulator
+
+#: Residue acceptance envelope (also stated in docs/runtime-kernel.md).
+RESIDUE_RTOL = 1e-3
+RESIDUE_ATOL = 1e-5
+
+#: Ceiling on the fraction of alarm decisions allowed to differ.
+MAX_DECISION_DIVERGENCE_FRACTION = 1e-3
+
+#: Ceiling on the absolute benign false-alarm-rate difference per detector.
+MAX_FAR_DIVERGENCE = 5e-3
+
+N_INSTANCES = 400
+HORIZON = 200
+
+
+@pytest.fixture(scope="module")
+def dcmotor_problem():
+    return CASE_STUDIES.create("dcmotor").problem
+
+
+@pytest.fixture(scope="module")
+def boundary_thresholds(dcmotor_problem):
+    """Thresholds placed on the benign residue-norm distribution.
+
+    A threshold far from the noise envelope never produces divergent
+    decisions (zero alarms in both dtypes proves nothing), so the static
+    threshold sits at the benign 95th percentile and the CUSUM bias at the
+    60th — the placement where float32 rounding is most likely to flip a
+    comparison.
+    """
+    simulator = FleetSimulator(
+        dcmotor_problem.system,
+        N_INSTANCES,
+        HORIZON,
+        detectors={"probe": dcmotor_problem.static_threshold(1.0)},
+        x0=dcmotor_problem.x0,
+        seed=9,
+        record_traces=True,
+        metrics=False,
+    )
+    simulator.run()
+    norms = np.abs(simulator.trace.residues).max(axis=2)
+    return float(np.quantile(norms, 0.95)), float(np.quantile(norms, 0.6))
+
+
+def _run(problem, thresholds, dtype):
+    static, bias = thresholds
+    sink = InMemorySink()
+    simulator = FleetSimulator(
+        problem.system,
+        N_INSTANCES,
+        HORIZON,
+        detectors={
+            "static": problem.static_threshold(static),
+            "cusum": CusumDetector(bias=bias, threshold=5.0 * bias),
+        },
+        x0=problem.x0,
+        seed=9,
+        sinks=[sink],
+        record_traces=True,
+        metrics=False,
+        engine="fused",
+        engine_options={"dtype": dtype},
+    )
+    report = simulator.run()
+    decisions = {(e.instance, e.step, e.detector) for e in sink.events}
+    return report, simulator.trace, decisions
+
+
+class TestFloat32Acceptance:
+    def test_run_reports_the_float32_engine(self, dcmotor_problem, boundary_thresholds):
+        report, trace, _ = _run(dcmotor_problem, boundary_thresholds, "float32")
+        assert report.metadata["engine"]["dtype"] == "float32"
+        # Recorded traces are float64 arrays regardless of compute dtype.
+        assert trace.residues.dtype == np.float64
+
+    def test_residues_within_documented_envelope(
+        self, dcmotor_problem, boundary_thresholds
+    ):
+        _, trace64, _ = _run(dcmotor_problem, boundary_thresholds, "float64")
+        _, trace32, _ = _run(dcmotor_problem, boundary_thresholds, "float32")
+        np.testing.assert_allclose(
+            trace32.residues, trace64.residues, rtol=RESIDUE_RTOL, atol=RESIDUE_ATOL
+        )
+        np.testing.assert_allclose(
+            trace32.states, trace64.states, rtol=RESIDUE_RTOL, atol=RESIDUE_ATOL
+        )
+
+    def test_alarm_decision_divergence_is_counted_and_bounded(
+        self, dcmotor_problem, boundary_thresholds
+    ):
+        _, _, decisions64 = _run(dcmotor_problem, boundary_thresholds, "float64")
+        _, _, decisions32 = _run(dcmotor_problem, boundary_thresholds, "float32")
+        # Both dtypes must actually alarm — a silent fleet proves nothing.
+        assert decisions64 and decisions32
+        divergent = len(decisions64 ^ decisions32)
+        total = N_INSTANCES * HORIZON * 2  # two deployed detectors
+        assert divergent / total <= MAX_DECISION_DIVERGENCE_FRACTION, (
+            f"{divergent} of {total} alarm decisions diverged "
+            f"({divergent / total:.2e} > {MAX_DECISION_DIVERGENCE_FRACTION:.0e})"
+        )
+
+    def test_benign_far_matches_float64_within_bound(
+        self, dcmotor_problem, boundary_thresholds
+    ):
+        report64, _, _ = _run(dcmotor_problem, boundary_thresholds, "float64")
+        report32, _, _ = _run(dcmotor_problem, boundary_thresholds, "float32")
+        for label in report64.detectors:
+            stats64 = report64.detectors[label]
+            stats32 = report32.detectors[label]
+            assert stats64.per_step_false_alarm_rate > 0, (
+                f"{label!r} never alarmed; the boundary placement regressed"
+            )
+            assert abs(
+                stats64.per_step_false_alarm_rate - stats32.per_step_false_alarm_rate
+            ) <= MAX_FAR_DIVERGENCE
+            assert abs(
+                stats64.false_alarm_rate - stats32.false_alarm_rate
+            ) <= MAX_FAR_DIVERGENCE * 10  # per-instance rates quantize at 1/N

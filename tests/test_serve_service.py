@@ -368,3 +368,99 @@ class TestBatchObserver:
             observer.compact(np.array([0, 3]))
         observer.compact(np.array([0, 2]))
         assert observer.n_instances == 2
+
+
+class TestFusedEngineRounds:
+    """The fused round engine against the legacy per-core loop.
+
+    Regression scope: the fused engine caches a version-keyed execution plan
+    over the detector bank, and growing or compacting the bank mid-run (an
+    attach/detach) or hot-swapping thresholds must rebuild that plan without
+    resetting any surviving instance's detector state.  Every test drives the
+    identical scenario through both engines and requires bit-identical alarm
+    streams and counters.
+    """
+
+    def _drive(self, problem, engine, *, swap_at=None, membership_churn=False):
+        bank = {
+            "static": problem.static_threshold(0.4),
+            "cusum": CusumDetector(bias=0.1, threshold=1.0, norm=2),
+        }
+        sink = InMemorySink()
+        service = MonitorService(
+            problem.system,
+            bank,
+            residue_source="ingest",
+            sinks=[sink],
+            engine=engine,
+        )
+        ids = [service.attach() for _ in range(6)]
+        rng = np.random.default_rng(23)
+        m = problem.system.plant.n_outputs
+        for k in range(40):
+            if membership_churn and k == 12:
+                ids.append(service.attach())
+            if membership_churn and k == 28:
+                service.detach(ids.pop(3))
+            if swap_at is not None and k == swap_at:
+                service.swap_thresholds(
+                    {"cusum": CusumDetector(bias=0.05, threshold=0.6, norm=2)}
+                )
+            for i in ids:
+                service.ingest(
+                    i, rng.normal(size=m), residue=rng.normal(size=m) * 0.4
+                )
+        stats = service.stats()
+        service.close()
+        return list(sink.events), stats
+
+    def test_fused_rounds_match_legacy_bit_for_bit(self, dcmotor_problem):
+        legacy_events, legacy_stats = self._drive(dcmotor_problem, "legacy")
+        fused_events, fused_stats = self._drive(dcmotor_problem, "fused")
+        assert legacy_events, "the scenario must actually raise alarms"
+        assert fused_events == legacy_events
+        assert fused_stats == legacy_stats
+
+    def test_grow_compact_mid_run_rebuilds_the_plan_without_resets(
+        self, dcmotor_problem
+    ):
+        # The latent edge this PR fixes: an attach after the fused plan was
+        # built must invalidate it (the cores' version counters bump) while
+        # survivors keep their CUSUM accumulators and threshold positions.
+        legacy_events, legacy_stats = self._drive(
+            dcmotor_problem, "legacy", membership_churn=True
+        )
+        fused_events, fused_stats = self._drive(
+            dcmotor_problem, "fused", membership_churn=True
+        )
+        assert legacy_events, "the scenario must actually raise alarms"
+        assert fused_events == legacy_events
+        assert fused_stats == legacy_stats
+
+    def test_hot_swap_after_plan_build_takes_effect(self, dcmotor_problem):
+        # The swap lands mid-run, after rounds have cached a fused plan; the
+        # rebind bumps the core's version, so the stale pre-swap parameters
+        # must never be applied to a post-swap round.
+        legacy_events, legacy_stats = self._drive(dcmotor_problem, "legacy", swap_at=15)
+        fused_events, fused_stats = self._drive(dcmotor_problem, "fused", swap_at=15)
+        assert legacy_events, "the scenario must actually raise alarms"
+        assert fused_events == legacy_events
+        assert fused_stats == legacy_stats
+
+    def test_config_round_trip_carries_the_engine(self, dcmotor_problem):
+        from repro.api.config import ServiceConfig
+        from repro.serve.engine import run_service
+
+        config = ServiceConfig(
+            static_thresholds={"static": 0.4},
+            include_mdc=False,
+            engine="fused",
+            engine_options={},
+        )
+        rebuilt = ServiceConfig.from_dict(config.to_dict())
+        assert rebuilt.engine == "fused"
+        service = run_service(rebuilt, dcmotor_problem)
+        assert service.engine == "fused"
+        start = service.log.events[0]
+        assert start.data["engine"] == "fused"
+        service.close()
